@@ -1,0 +1,97 @@
+// §4.2 headline claim: server-scale photonics shrinks the blast radius of a
+// single chip failure from a rack (the [60] migration policy) to the
+// multi-accelerator server containing the failed chip.
+//
+// Sweeps the failure over every allocated chip of a realistically packed
+// rack and reports, per policy: blast radius (chips), recovery time, and
+// feasibility — the distribution behind the paper's argument.
+#include "bench/bench_common.hpp"
+#include "core/blast_radius.hpp"
+#include "core/photonic_rack.hpp"
+#include "topo/slice.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace lp;
+using core::FailurePolicy;
+using topo::Coord;
+using topo::Shape;
+using topo::TpuId;
+
+struct PolicyStats {
+  Summary blast;
+  Summary recovery_s;
+  int feasible = 0;
+  int total = 0;
+};
+
+void run_policy(FailurePolicy policy, PolicyStats& stats) {
+  // Fresh world per failure so failures do not compound.
+  for (int victim_index = 0; victim_index < 48; victim_index += 3) {
+    topo::TpuCluster cluster;
+    topo::SliceAllocator alloc{cluster};
+    (void)alloc.allocate_at(0, Coord{{0, 0, 0}}, Shape{{4, 4, 2}});
+    (void)alloc.allocate_at(0, Coord{{0, 0, 2}}, Shape{{4, 4, 1}});
+    (void)alloc.allocate_at(0, Coord{{0, 0, 3}}, Shape{{4, 2, 1}});
+    // y in {2,3} at z=3 stays free: the spare pool.
+    const TpuId failed = victim_index;  // inside one of the slices
+    if (!alloc.owner(failed)) continue;
+
+    core::PhotonicRack rack{cluster, 0};
+    const auto impact = core::assess_failure(cluster, alloc, failed, policy, {},
+                                             policy == FailurePolicy::kOpticalRepair
+                                                 ? &rack
+                                                 : nullptr);
+    ++stats.total;
+    if (impact.feasible) ++stats.feasible;
+    stats.blast.add(impact.blast_radius_chips);
+    stats.recovery_s.add(impact.recovery_time.to_seconds());
+  }
+}
+
+void print_report() {
+  bench::header("Blast radius of a single chip failure (sweep over victims)");
+
+  struct Row {
+    const char* name;
+    FailurePolicy policy;
+  };
+  const Row rows[] = {
+      {"rack migration [60]", FailurePolicy::kRackMigration},
+      {"electrical in-place", FailurePolicy::kElectricalRepair},
+      {"optical repair (ours)", FailurePolicy::kOpticalRepair},
+  };
+
+  std::printf("  %-22s %9s %14s %16s %12s\n", "policy", "feasible", "blast (chips)",
+              "mean recovery", "max recovery");
+  for (const Row& row : rows) {
+    PolicyStats stats;
+    run_policy(row.policy, stats);
+    std::printf("  %-22s %4d/%-4d %8.1f (max %2.0f) %14s %14s\n", row.name,
+                stats.feasible, stats.total, stats.blast.mean(), stats.blast.max(),
+                bench::fmt_time(stats.recovery_s.mean()).c_str(),
+                bench::fmt_time(stats.recovery_s.max()).c_str());
+  }
+  bench::line();
+  std::printf("paper: blast radius rack (64 chips) -> server (4 chips); recovery\n");
+  std::printf("       minutes of migration -> microseconds of MZI programming.\n");
+}
+
+void BM_AssessFailureOptical(benchmark::State& state) {
+  for (auto _ : state) {
+    topo::TpuCluster cluster;
+    topo::SliceAllocator alloc{cluster};
+    (void)alloc.allocate_at(0, Coord{{0, 0, 0}}, Shape{{4, 4, 2}});
+    (void)alloc.allocate_at(0, Coord{{0, 0, 2}}, Shape{{4, 4, 1}});
+    (void)alloc.allocate_at(0, Coord{{0, 0, 3}}, Shape{{4, 2, 1}});
+    core::PhotonicRack rack{cluster, 0};
+    benchmark::DoNotOptimize(core::assess_failure(
+        cluster, alloc, 20, core::FailurePolicy::kOpticalRepair, {}, &rack));
+  }
+}
+BENCHMARK(BM_AssessFailureOptical);
+
+}  // namespace
+
+LP_BENCH_MAIN(print_report)

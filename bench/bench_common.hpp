@@ -1,0 +1,61 @@
+// Shared helpers for the reproduction benches.
+//
+// Every bench binary prints its paper-reproduction report first (the rows
+// of the table / the series of the figure it regenerates), then runs its
+// google-benchmark microbenchmarks.  Use LP_BENCH_MAIN(print_fn) to get
+// that layout.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace lp::bench {
+
+inline void header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void line() {
+  std::printf("-------------------------------------------------------------------------------\n");
+}
+
+/// Human-readable seconds.
+inline std::string fmt_time(double seconds) {
+  char buf[48];
+  if (seconds < 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.1f ns", seconds * 1e9);
+  } else if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  }
+  return buf;
+}
+
+inline std::string fmt_bytes(double bytes) {
+  char buf[48];
+  if (bytes < 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f KiB", bytes / 1024.0);
+  } else if (bytes < 1024.0 * 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f MiB", bytes / (1024.0 * 1024.0));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f GiB", bytes / (1024.0 * 1024.0 * 1024.0));
+  }
+  return buf;
+}
+
+}  // namespace lp::bench
+
+#define LP_BENCH_MAIN(print_fn)                        \
+  int main(int argc, char** argv) {                    \
+    print_fn();                                        \
+    ::benchmark::Initialize(&argc, argv);              \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();             \
+    ::benchmark::Shutdown();                           \
+    return 0;                                          \
+  }

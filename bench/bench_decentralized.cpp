@@ -1,0 +1,74 @@
+// §5 challenge: "Decentralized algorithms" — a centralized controller
+// tracking every waveguide does not scale to dynamic MoE-style traffic.
+//
+// Compares circuit-setup latency of the simulated decentralized
+// probe/reserve protocol against the centralized-controller cost model
+// across burst sizes and lane scarcity.
+#include "bench/bench_common.hpp"
+#include "routing/decentralized.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lp;
+
+std::vector<routing::Demand> random_burst(std::size_t count, Rng& rng) {
+  std::vector<routing::Demand> demands;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto src = static_cast<fabric::TileId>(rng.uniform_index(32));
+    auto dst = static_cast<fabric::TileId>(rng.uniform_index(32));
+    if (dst == src) dst = (dst + 1) % 32;
+    demands.push_back(routing::Demand{fabric::GlobalTile{0, src},
+                                      fabric::GlobalTile{0, dst}, 1});
+  }
+  return demands;
+}
+
+void print_report() {
+  bench::header("Decentralized vs centralized circuit setup");
+  std::printf("  burst  lanes/edge  ok/total  retries  msgs   decent. makespan  centralized\n");
+  Rng rng{123};
+  struct Case {
+    std::size_t burst;
+    std::uint32_t lanes;
+  };
+  const Case cases[] = {{8, 8192},  {32, 8192}, {128, 8192},
+                        {32, 4},    {128, 4},   {128, 2}};
+  for (const Case& c : cases) {
+    fabric::FabricConfig config;
+    config.wafer.lanes_per_edge = c.lanes;
+    fabric::Fabric fab{config};
+    const auto demands = random_burst(c.burst, rng);
+    const auto report = routing::run_decentralized_setup(fab, demands);
+    unsigned retries = 0;
+    std::size_t ok = 0;
+    for (const auto& o : report.per_demand) {
+      retries += o.retries;
+      if (o.success) ++ok;
+    }
+    const Duration central = routing::centralized_setup_latency(fab, demands.size());
+    std::printf("  %5zu  %9u  %4zu/%-4zu  %6u  %5llu   %14s  %11s\n", c.burst, c.lanes,
+                ok, demands.size(), retries,
+                static_cast<unsigned long long>(report.total_messages),
+                bench::fmt_time(report.makespan.to_seconds()).c_str(),
+                bench::fmt_time(central.to_seconds()).c_str());
+  }
+  bench::line();
+  std::printf("with ample lanes the decentralized protocol matches the controller\n");
+  std::printf("(both dominated by the 3.7 us settle); under scarcity it pays retries\n");
+  std::printf("but degrades per-demand instead of serializing the whole burst.\n");
+}
+
+void BM_DecentralizedBurst(benchmark::State& state) {
+  Rng rng{9};
+  fabric::Fabric fab;
+  const auto demands = random_burst(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::run_decentralized_setup(fab, demands));
+  }
+}
+BENCHMARK(BM_DecentralizedBurst)->Arg(8)->Arg(64)->Arg(256);
+
+}  // namespace
+
+LP_BENCH_MAIN(print_report)

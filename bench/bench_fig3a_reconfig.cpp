@@ -1,0 +1,88 @@
+// Figure 3a: Mach-Zehnder router switch time response.
+//
+// The paper drives an MZI on the prototype and captures the normalized
+// output amplitude on a scope, fitting an exponential and reporting that
+// switches reconfigure within 3.7 us.  We regenerate the trace from the
+// thermo-optic model, perform the same exponential fit, and report the
+// fitted tau, the 10-90% rise time, and the settle-to-2.5% latency.
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "lightpath/reconfig.hpp"
+#include "phys/mzi.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace lp;
+
+void print_report() {
+  bench::header("Figure 3a: MZI switch time response");
+
+  phys::Mzi mzi;
+  const TimePoint t0;
+  mzi.program(phys::MziPort::kCross, t0);
+
+  // Scope capture: 0..10 us at 20 ns resolution, like the paper's trace.
+  std::vector<double> ts, ys;
+  for (double t = 0.0; t <= 10e-6; t += 20e-9) {
+    ts.push_back(t);
+    ys.push_back(mzi.selected_power_at(t0 + Duration::seconds(t)));
+  }
+  std::printf("trace: %zu samples over 10 us (normalized amplitude)\n", ts.size());
+
+  // Downsampled ASCII rendition of the transient.
+  std::printf("  t (us)  amplitude\n");
+  for (double us : {0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.7, 5.0, 8.0}) {
+    const double a =
+        mzi.selected_power_at(t0 + Duration::micros(us));
+    const int bar = static_cast<int>(a * 40);
+    std::printf("  %5.1f   %5.3f |%s\n", us, a, std::string(static_cast<std::size_t>(bar), '#').c_str());
+  }
+
+  // The paper's fit: amplitude residual decays exponentially.
+  std::vector<double> inv;
+  inv.reserve(ys.size());
+  for (double y : ys) inv.push_back(1.0 - y);
+  const auto fit = fit_exponential_approach(ts, inv);
+  bench::line();
+  if (fit) {
+    std::printf("exponential fit: tau = %.3f us (r^2 = %.4f)\n", fit->tau * 1e6,
+                fit->r_squared);
+  }
+  std::printf("10-90%% rise time:        %s\n",
+              bench::fmt_time(mzi.rise_time_10_90().to_seconds()).c_str());
+  std::printf("settle to within 2.5%%:   %s   <-- paper: 3.7 us\n",
+              bench::fmt_time(mzi.settling_time().to_seconds()).c_str());
+
+  fabric::ReconfigController ctl;
+  std::printf("reconfig batch of 1 MZI:  %s\n",
+              bench::fmt_time(ctl.batch_latency(1).to_seconds()).c_str());
+  std::printf("reconfig batch of 64 MZI: %s (serial program + parallel settle)\n",
+              bench::fmt_time(ctl.batch_latency(64).to_seconds()).c_str());
+}
+
+void BM_MziSample(benchmark::State& state) {
+  phys::Mzi mzi;
+  mzi.program(phys::MziPort::kCross, TimePoint{});
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 1e-9;
+    benchmark::DoNotOptimize(
+        mzi.selected_power_at(TimePoint::at_seconds(t)));
+  }
+}
+BENCHMARK(BM_MziSample);
+
+void BM_BatchLatency(benchmark::State& state) {
+  fabric::ReconfigController ctl;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ctl.batch_latency(static_cast<unsigned>(state.range(0))));
+  }
+}
+BENCHMARK(BM_BatchLatency)->Arg(1)->Arg(64)->Arg(1024);
+
+}  // namespace
+
+LP_BENCH_MAIN(print_report)

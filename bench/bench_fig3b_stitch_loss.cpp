@@ -1,0 +1,76 @@
+// Figure 3b: distribution of reticle stitch loss.
+//
+// The paper measures the loss where waveguides cross reticle boundaries
+// across the wafer and plots its distribution with a Gaussian fit,
+// concluding the crossings are low-loss (0.25 dB).  We Monte-Carlo the
+// stitch-loss model, print the histogram, fit a Gaussian, and additionally
+// report the yield impact: the fraction of worst-case circuits whose link
+// budget still closes under sampled (not mean) stitch losses.
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "phys/link_budget.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace lp;
+
+void print_report() {
+  bench::header("Figure 3b: distribution of reticle stitch loss");
+
+  const phys::LossModel loss;
+  Rng rng{2024};
+  constexpr int kSamples = 10000;
+  Histogram hist{0.0, 0.8, 16};
+  std::vector<double> samples;
+  samples.reserve(kSamples);
+  for (int i = 0; i < kSamples; ++i) {
+    const double s = loss.sample_stitch(rng).value();
+    hist.add(s);
+    samples.push_back(s);
+  }
+  std::printf("%d sampled stitches (dB):\n%s", kSamples, hist.to_ascii(40).c_str());
+  const auto fit = fit_gaussian(samples);
+  bench::line();
+  std::printf("gaussian fit: mean = %.3f dB, sigma = %.3f dB   <-- paper: low-loss 0.25 dB\n",
+              fit.mean, fit.sigma);
+
+  // Yield: worst-case wafer-crossing circuit (20 stitches) under sampled
+  // losses.
+  const phys::LinkBudget budget;
+  phys::CircuitProfile profile;
+  profile.waveguide_length = Length::millimeters(25.0 * 20);
+  profile.crossings = 18;
+  profile.stitches = 20;
+  profile.mzi_traversals = 24;
+  int closed = 0;
+  constexpr int kTrials = 2000;
+  for (int i = 0; i < kTrials; ++i) {
+    const auto report = budget.evaluate_at_loss(budget.sampled_path_loss(profile, rng));
+    if (report.closes) ++closed;
+  }
+  std::printf("link-budget yield of worst-case 20-stitch circuit: %.1f%% (%d/%d)\n",
+              100.0 * closed / kTrials, closed, kTrials);
+}
+
+void BM_SampleStitch(benchmark::State& state) {
+  const phys::LossModel loss;
+  Rng rng{7};
+  for (auto _ : state) benchmark::DoNotOptimize(loss.sample_stitch(rng));
+}
+BENCHMARK(BM_SampleStitch);
+
+void BM_SampledPathLoss(benchmark::State& state) {
+  const phys::LinkBudget budget;
+  phys::CircuitProfile profile;
+  profile.stitches = static_cast<unsigned>(state.range(0));
+  Rng rng{7};
+  for (auto _ : state) benchmark::DoNotOptimize(budget.sampled_path_loss(profile, rng));
+}
+BENCHMARK(BM_SampledPathLoss)->Arg(2)->Arg(20);
+
+}  // namespace
+
+LP_BENCH_MAIN(print_report)

@@ -1,0 +1,63 @@
+// Figure 4: waveguide density — "MZI switches and waveguides are arranged
+// in a grid on a tile to allow 10,000 waveguides ... waveguide [pitch] is
+// 3 um".
+//
+// We sweep the lithographic pitch and report how many lanes enter a tile,
+// then show the consequence for circuit capacity: how many simultaneous
+// full-bandwidth (16-lambda) circuits the densest cut of the wafer can
+// carry.
+#include "bench/bench_common.hpp"
+#include "lightpath/tile.hpp"
+#include "lightpath/wafer.hpp"
+#include "routing/planner.hpp"
+
+namespace {
+
+using namespace lp;
+
+void print_report() {
+  bench::header("Figure 4: waveguides per tile vs pitch");
+  std::printf("  pitch (um)   lanes/edge   lanes/tile (both axes)\n");
+  for (double pitch_um : {1.0, 2.0, 3.0, 5.0, 10.0}) {
+    fabric::TileParams params;
+    params.waveguide_pitch = Length::microns(pitch_um);
+    const auto lanes = fabric::waveguides_per_edge(params);
+    std::printf("  %8.1f    %9u   %10u%s\n", pitch_um, lanes, 2 * lanes,
+                pitch_um == 3.0 ? "   <-- paper: >10,000 per tile" : "");
+  }
+
+  bench::line();
+  // Capacity consequence: a column cut of the 4x8 wafer has 4 edges; at the
+  // paper's pitch each carries 8333 lanes, so a cut sustains 4 x 8333 / 16
+  // = 2083 full-bandwidth circuits — three orders of magnitude more than
+  // the 32 chips could ever demand (each chip has 16 Tx lambdas).
+  fabric::TileParams paper;
+  const auto lanes = fabric::waveguides_per_edge(paper);
+  const unsigned cut_edges = 4;
+  std::printf("wafer column-cut capacity: %u lanes -> %u concurrent 16-lambda circuits\n",
+              cut_edges * lanes, cut_edges * lanes / 16);
+  std::printf("chip demand ceiling: 32 chips x 16 lambdas = %u lanes (%.2f%% of cut)\n",
+              32 * 16, 100.0 * (32 * 16) / (cut_edges * lanes));
+}
+
+void BM_PlaceAllPermutation(benchmark::State& state) {
+  // Routing cost at paper-scale lane counts.
+  fabric::FabricConfig config;
+  config.wafer.lanes_per_edge = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    fabric::Fabric fab{config};
+    routing::CircuitPlanner planner{fab};
+    std::vector<routing::Demand> demands;
+    for (fabric::TileId t = 0; t < 32; ++t) {
+      demands.push_back(routing::Demand{fabric::GlobalTile{0, t},
+                                        fabric::GlobalTile{0, (t + 13) % 32}, 8});
+    }
+    auto report = planner.place_all(demands);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_PlaceAllPermutation)->Arg(64)->Arg(1024)->Arg(8192);
+
+}  // namespace
+
+LP_BENCH_MAIN(print_report)

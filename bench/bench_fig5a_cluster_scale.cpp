@@ -1,0 +1,79 @@
+// Figure 5a: TPUv4 cluster of 4096 chips — 64 racks, each a 4x4x4 torus of
+// 16 four-chip servers, faces wired to OCSes.
+//
+// Builds the full-scale cluster substrate, verifies its invariants, and
+// measures allocator throughput at scale.
+#include "bench/bench_common.hpp"
+#include "topo/cluster.hpp"
+#include "topo/slice.hpp"
+
+namespace {
+
+using namespace lp;
+using topo::Shape;
+
+void print_report() {
+  bench::header("Figure 5a: TPUv4-scale cluster substrate (64 racks x 4x4x4)");
+  topo::TpuCluster cluster;
+  std::printf("racks: %d, chips/rack: %d, total chips: %d, servers/rack: %d\n",
+              cluster.rack_count(), cluster.chips_per_rack(), cluster.chip_count(),
+              cluster.servers_per_rack());
+
+  // OCS wraparound accounting: every face link is optical.
+  std::size_t wrap = 0;
+  for (topo::TpuId chip = 0; chip < cluster.chips_per_rack(); ++chip) {
+    for (std::uint8_t d = 0; d < topo::kDims; ++d) {
+      for (std::int8_t s : {std::int8_t{+1}, std::int8_t{-1}}) {
+        if (cluster.is_wraparound(topo::DirectedLink{chip, d, s})) ++wrap;
+      }
+    }
+  }
+  std::printf("directed links per rack: %d (%zu wraparound via OCS, %.0f%%)\n",
+              cluster.chips_per_rack() * 6, wrap,
+              100.0 * static_cast<double>(wrap) / (cluster.chips_per_rack() * 6));
+  std::printf("per-chip egress B: %.0f GB/s; per-dimension: %.0f GB/s\n",
+              cluster.config().chip_bandwidth.to_gBps(), cluster.dim_bandwidth().to_gBps());
+
+  // Fill the whole cluster with paper-shaped slices.
+  topo::SliceAllocator alloc{cluster};
+  int placed = 0;
+  while (alloc.allocate(Shape{{4, 4, 2}}).ok()) ++placed;
+  std::printf("first-fit packing: %d slices of 4x4x2 fill all %d racks (%d chips)\n",
+              placed, cluster.rack_count(), placed * 32);
+}
+
+void BM_ClusterConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    topo::TpuCluster cluster;
+    benchmark::DoNotOptimize(cluster.chip_count());
+  }
+}
+BENCHMARK(BM_ClusterConstruction);
+
+void BM_SliceAllocation(benchmark::State& state) {
+  for (auto _ : state) {
+    topo::TpuCluster cluster;
+    topo::SliceAllocator alloc{cluster};
+    int placed = 0;
+    while (alloc.allocate(Shape{{4, 2, 1}}).ok()) ++placed;
+    benchmark::DoNotOptimize(placed);
+  }
+}
+BENCHMARK(BM_SliceAllocation);
+
+void BM_OwnerLookup(benchmark::State& state) {
+  topo::TpuCluster cluster;
+  topo::SliceAllocator alloc{cluster};
+  while (alloc.allocate(Shape{{4, 4, 2}}).ok()) {
+  }
+  topo::TpuId chip = 0;
+  for (auto _ : state) {
+    chip = (chip + 1) % cluster.chip_count();
+    benchmark::DoNotOptimize(alloc.owner(chip));
+  }
+}
+BENCHMARK(BM_OwnerLookup);
+
+}  // namespace
+
+LP_BENCH_MAIN(print_report)

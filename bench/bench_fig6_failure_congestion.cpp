@@ -1,0 +1,149 @@
+// Figure 6: replacing a failed chip over the electrical torus causes
+// congestion.
+//
+// 6a (single rack): a failed TPU in Slice-3 has ring neighbors that must
+// reach a free chip; some can ("reaching any free chip from TPU 5 ... is
+// straightforward"), some cannot ("doing the same from TPU 9 without
+// congestion is impossible").  We enumerate every (neighbor, spare) pair
+// and report which have congestion-free paths.
+//
+// 6b (multi-rack): with no free chips in the failed rack, the replacement
+// must sit in another rack; the only escape dimension's links are already
+// used by the other rack's slices, so every path congests.  We model the
+// cross-rack case by walling the failed slice in with allocated slices and
+// verifying infeasibility, then quantify the slowdown a congested repair
+// would suffer using the flow simulator.
+#include "bench/bench_common.hpp"
+#include "collective/congestion.hpp"
+#include "collective/schedule.hpp"
+#include "core/blast_radius.hpp"
+#include "topo/multirack.hpp"
+#include "sim/flow_sim.hpp"
+#include "topo/slice.hpp"
+
+namespace {
+
+using namespace lp;
+using topo::Coord;
+using topo::Shape;
+using topo::TpuId;
+
+void print_report() {
+  bench::header("Figure 6a: intra-rack replacement congestion");
+
+  topo::TpuCluster cluster;
+  topo::SliceAllocator alloc{cluster};
+  // Figure-6a style packing: Slice-4 (4x4x2), Slice-3 (4x4x1), Slice-1
+  // (4x2x1); the remaining 4x2x1 region at y in {2,3}, z=3 stays free.
+  (void)alloc.allocate_at(0, Coord{{0, 0, 0}}, Shape{{4, 4, 2}});
+  const auto s3 = alloc.allocate_at(0, Coord{{0, 0, 2}}, Shape{{4, 4, 1}});
+  (void)alloc.allocate_at(0, Coord{{0, 0, 3}}, Shape{{4, 2, 1}});
+
+  const TpuId failed = cluster.chip_at(0, Coord{{1, 1, 2}});
+  cluster.set_state(failed, topo::ChipState::kFailed);
+  const auto neighbors =
+      core::broken_ring_neighbors(cluster, *alloc.slice(s3.value()), failed);
+  const auto spares = cluster.free_chips_in_rack(0);
+  std::printf("failed chip (1,1,2) in Slice-3; %zu broken-ring neighbors, %zu spares\n\n",
+              neighbors.size(), spares.size());
+
+  const auto analysis =
+      coll::analyze_rack(cluster, alloc, 0, coll::RingSelection::kUsableOnly);
+  coll::LinkLoad busy{cluster.directed_link_count()};
+  for (const auto& st : analysis.per_slice) busy.add_all(st.links);
+
+  std::printf("  neighbor     reachable spares (congestion-free)\n");
+  for (TpuId nb : neighbors) {
+    int reachable = 0;
+    for (TpuId spare : spares) {
+      if (coll::find_uncongested_path(cluster, alloc, busy, nb, spare)) ++reachable;
+    }
+    const Coord c = cluster.coord_of(nb);
+    std::printf("  (%d,%d,%d)      %d / %zu%s\n", c[0], c[1], c[2], reachable,
+                spares.size(), reachable == 0 ? "   <-- impossible, as in the paper" : "");
+  }
+  const auto attempt = core::attempt_electrical_repair(cluster, alloc, failed);
+  std::printf("\nfull in-place electrical repair feasible: %s   <-- paper: no\n",
+              attempt.feasible ? "yes" : "no");
+
+  bench::header("Figure 6b: cross-rack replacement congestion (joined torus)");
+  // Two racks joined along Z through the face OCSes into a 4x4x8 torus.
+  // Rack 1 (z 0..3) is fully allocated, including the victim Slice-2
+  // (2x4x1, 8 TPUs); rack 2 (z 4..7) holds Slice-1 (2x4x4) and another
+  // tenant, leaving 4 free chips.  The victim's only escape is the joined
+  // Z dimension into rack 2, where Slice-1's rings already occupy the
+  // dimension the path needs — the purple line of the figure.
+  topo::OcsBank bank;
+  auto joined = topo::JoinedTorus::join(topo::ClusterConfig{}, 2, 2, bank);
+  if (!joined.ok()) {
+    std::printf("join failed: %s\n", joined.error().message.c_str());
+    return;
+  }
+  auto& cluster2 = joined.value().cluster();
+  topo::SliceAllocator alloc2{cluster2};
+  (void)alloc2.allocate_at(0, Coord{{0, 0, 0}}, Shape{{2, 4, 1}});  // Slice-2
+  (void)alloc2.allocate_at(0, Coord{{2, 0, 0}}, Shape{{2, 4, 1}});
+  (void)alloc2.allocate_at(0, Coord{{0, 0, 1}}, Shape{{4, 4, 3}});  // rest of rack 1
+  (void)alloc2.allocate_at(0, Coord{{0, 0, 4}}, Shape{{2, 4, 4}});  // Slice-1 rack 2
+  (void)alloc2.allocate_at(0, Coord{{2, 0, 4}}, Shape{{2, 4, 3}});
+  (void)alloc2.allocate_at(0, Coord{{2, 0, 7}}, Shape{{2, 2, 1}});
+  std::printf("joined 4x4x8 torus via %u OCS ports (%.0f ms reconfiguration)\n",
+              joined.value().ocs_ports_used(),
+              joined.value().join_latency().to_millis());
+  std::printf("free chips in rack 2: %zu\n",
+              cluster2.chips_in_state(topo::ChipState::kFree).size());
+
+  const TpuId failed2 = cluster2.chip_at(0, Coord{{1, 1, 0}});  // in Slice-2
+  cluster2.set_state(failed2, topo::ChipState::kFailed);
+  const auto attempt2 = core::attempt_electrical_repair(cluster2, alloc2, failed2);
+  std::printf("cross-rack electrical repair feasible: %s   <-- paper: no\n",
+              attempt2.feasible ? "yes" : "no");
+  std::printf("=> every path to rack 2's spares transits allocated chips or rides the\n");
+  std::printf("   Y-dimension links Slice-1's rings occupy; the operator's only\n");
+  std::printf("   electrical option is rack-granularity migration.\n");
+
+  // Quantify: a repair flow forced to share one ring link halves its rate.
+  bench::line();
+  const sim::FlowSimulator fsim{cluster.dim_bandwidth()};
+  coll::Transfer ring_step;
+  ring_step.src = 0;
+  ring_step.dst = 1;
+  ring_step.bytes = DataSize::mib(32);
+  ring_step.route = {topo::DirectedLink{0, 0, +1}};
+  coll::Transfer repair = ring_step;  // same link: the congested repair
+  const auto contended = fsim.run_phase({ring_step, repair});
+  const auto clean = fsim.run_phase({ring_step});
+  std::printf("congested repair slowdown on a shared link: %.2fx (ring step %s -> %s)\n",
+              contended.duration / clean.duration,
+              bench::fmt_time(clean.duration.to_seconds()).c_str(),
+              bench::fmt_time(contended.duration.to_seconds()).c_str());
+}
+
+void BM_RepairSearch(benchmark::State& state) {
+  topo::TpuCluster cluster;
+  topo::SliceAllocator alloc{cluster};
+  (void)alloc.allocate_at(0, Coord{{0, 0, 0}}, Shape{{4, 4, 2}});
+  const auto s3 = alloc.allocate_at(0, Coord{{0, 0, 2}}, Shape{{4, 4, 1}});
+  (void)s3;
+  (void)alloc.allocate_at(0, Coord{{0, 0, 3}}, Shape{{4, 2, 1}});
+  const TpuId failed = cluster.chip_at(0, Coord{{1, 1, 2}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::attempt_electrical_repair(cluster, alloc, failed));
+  }
+}
+BENCHMARK(BM_RepairSearch);
+
+void BM_UncongestedPathBfs(benchmark::State& state) {
+  topo::TpuCluster cluster;
+  topo::SliceAllocator alloc{cluster};
+  coll::LinkLoad busy{cluster.directed_link_count()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        coll::find_uncongested_path(cluster, alloc, busy, 0, 63));
+  }
+}
+BENCHMARK(BM_UncongestedPathBfs);
+
+}  // namespace
+
+LP_BENCH_MAIN(print_report)

@@ -1,0 +1,83 @@
+// Ablation: circuit-switched host stack policies (§1's "new host
+// networking software stacks optimized for circuit-switching").
+//
+// Sweeps the working set (distinct peers each chip talks to) and message
+// size, reporting hit rate and mean message latency of the LRU circuit
+// cache, versus the no-cache lower layer (reconfigure every message) and
+// the r-free ideal.  The SerDes port bound (8 peers) is the knee: below it
+// the cache makes reconfiguration vanish; above it, thrashing returns the
+// cost of r on every message.
+#include "bench/bench_common.hpp"
+#include "core/host_stack.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lp;
+using fabric::GlobalTile;
+
+void print_report() {
+  bench::header("Circuit-cache host stack: hit rate and message latency");
+  std::printf("32 chips, uniform traffic over a working set of W peers per chip\n\n");
+  std::printf("  W peers  msg size   hit rate   mean latency   no-cache     ideal (r=0)\n");
+
+  Rng rng{42};
+  for (std::uint32_t working_set : {2u, 4u, 8u, 12u, 16u, 31u}) {
+    for (const double kib : {64.0, 4096.0}) {
+      const DataSize msg = DataSize::kib(kib);
+      fabric::Fabric fab;
+      core::HostStack stack{fab};
+      constexpr int kMessages = 2000;
+      Duration total = Duration::zero();
+      for (int m = 0; m < kMessages; ++m) {
+        const auto src = static_cast<fabric::TileId>(rng.uniform_index(32));
+        const auto offset =
+            1 + static_cast<fabric::TileId>(rng.uniform_index(working_set));
+        const auto dst = static_cast<fabric::TileId>((src + offset) % 32);
+        const auto sent = stack.send(GlobalTile{0, src}, GlobalTile{0, dst}, msg);
+        if (sent) total += sent.value();
+      }
+      const auto& st = stack.stats();
+      // Reference points: every message pays r; no message pays r.
+      const Duration transfer = st.transfer_time / static_cast<double>(st.messages);
+      const Duration setup = st.misses > 0
+                                 ? st.reconfig_time / static_cast<double>(st.misses)
+                                 : Duration::zero();
+      const Duration no_cache = transfer + setup;
+      std::printf("  %7u  %7.0fK   %7.1f%%   %12s   %10s   %10s\n", working_set, kib,
+                  100.0 * st.hit_rate(),
+                  bench::fmt_time((total / static_cast<double>(kMessages)).to_seconds()).c_str(),
+                  bench::fmt_time(no_cache.to_seconds()).c_str(),
+                  bench::fmt_time(transfer.to_seconds()).c_str());
+    }
+  }
+  bench::line();
+  std::printf("working sets within the 8-port SerDes bound cache perfectly; beyond it\n");
+  std::printf("LRU thrashes and every message pays ~r — the host-stack design problem\n");
+  std::printf("the paper poses.  Large messages amortize r regardless.\n");
+}
+
+void BM_SendHit(benchmark::State& state) {
+  fabric::Fabric fab;
+  core::HostStack stack{fab};
+  (void)stack.send(GlobalTile{0, 0}, GlobalTile{0, 1}, DataSize::kib(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stack.send(GlobalTile{0, 0}, GlobalTile{0, 1}, DataSize::kib(1)));
+  }
+}
+BENCHMARK(BM_SendHit);
+
+void BM_SendThrash(benchmark::State& state) {
+  fabric::Fabric fab;
+  core::HostStack stack{fab};
+  fabric::TileId dst = 1;
+  for (auto _ : state) {
+    dst = dst % 31 + 1;  // cycle 31 peers through 8 slots
+    benchmark::DoNotOptimize(stack.send(GlobalTile{0, 0}, GlobalTile{0, dst}, DataSize::kib(1)));
+  }
+}
+BENCHMARK(BM_SendThrash);
+
+}  // namespace
+
+LP_BENCH_MAIN(print_report)

@@ -1,0 +1,80 @@
+// §3 physical-layer claims: 224 Gbps per wavelength, 16 lambdas per tile,
+// 32 connectable accelerators, low-loss routing within the active layer.
+//
+// Sweeps circuit length across the wafer (and over the fiber to a second
+// wafer) and reports loss, received power, pre-FEC BER and budget verdict,
+// demonstrating that every chip-to-chip circuit a 32-tile wafer can ask
+// for closes at the full line rate.
+#include "bench/bench_common.hpp"
+#include "lightpath/circuit.hpp"
+#include "lightpath/fabric.hpp"
+#include "phys/link_budget.hpp"
+
+namespace {
+
+using namespace lp;
+
+void print_report() {
+  bench::header("Link budget across the wafer (224 Gbps/lambda, PAM4 112 GBaud)");
+  const phys::LinkBudget budget;
+  std::printf("receiver sensitivity at FEC threshold (2.4e-4): %.1f dBm\n",
+              budget.sensitivity().to_dbm());
+  std::printf("\n  hops  turns  fiber  loss(dB)  rx(dBm)   pre-FEC BER   closes  margin(dB)\n");
+
+  struct Case {
+    unsigned hops;
+    unsigned turns;
+    unsigned fiber;
+    const char* note;
+  };
+  const Case cases[] = {
+      {1, 0, 0, "adjacent tiles"},
+      {4, 1, 0, "quarter wafer"},
+      {10, 1, 0, "corner to corner (32-tile wafer)"},
+      {14, 2, 0, "detoured worst case"},
+      {20, 2, 1, "cross-wafer via fiber"},
+  };
+  for (const auto& c : cases) {
+    phys::CircuitProfile p;
+    p.waveguide_length = Length::millimeters(25.0 * c.hops);
+    p.stitches = c.hops;
+    p.crossings = (c.hops > 0 ? c.hops - 1 : 0) + c.turns;
+    p.mzi_traversals = c.hops + 1 + c.turns;
+    p.fiber_hops = c.fiber;
+    p.fiber_length = Length::meters(3.0 * c.fiber);
+    const auto r = budget.evaluate(p);
+    std::printf("  %4u  %5u  %5u  %7.2f  %7.2f   %11.3e   %-5s  %8.2f  (%s)\n", c.hops,
+                c.turns, c.fiber, r.total_loss.value(), r.received.to_dbm(),
+                r.pre_fec_ber, r.closes ? "yes" : "NO", r.margin.value(), c.note);
+  }
+
+  bench::line();
+  // Aggregate: per-tile capacity 16 x 224 Gbps and wafer scale 32 chips.
+  const fabric::Fabric fab;
+  std::printf("per-wavelength rate: %.0f Gbps; per-chip steerable egress: %.0f Gbps (%.0f GB/s)\n",
+              fab.per_wavelength_rate().to_gbps(), 16 * fab.per_wavelength_rate().to_gbps(),
+              16 * fab.per_wavelength_rate().to_gBps());
+  std::printf("accelerators per wafer: %u  <-- paper: up to 32\n",
+              fab.wafer(0).tile_count());
+}
+
+void BM_BudgetEvaluate(benchmark::State& state) {
+  const phys::LinkBudget budget;
+  phys::CircuitProfile p;
+  p.waveguide_length = Length::millimeters(250);
+  p.stitches = 10;
+  p.crossings = 10;
+  p.mzi_traversals = 12;
+  for (auto _ : state) benchmark::DoNotOptimize(budget.evaluate(p));
+}
+BENCHMARK(BM_BudgetEvaluate);
+
+void BM_Sensitivity(benchmark::State& state) {
+  const phys::LinkBudget budget;
+  for (auto _ : state) benchmark::DoNotOptimize(budget.sensitivity());
+}
+BENCHMARK(BM_Sensitivity);
+
+}  // namespace
+
+LP_BENCH_MAIN(print_report)

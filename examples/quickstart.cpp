@@ -1,0 +1,61 @@
+// Quickstart: stand up a LIGHTPATH wafer, connect two accelerators with an
+// on-demand optical circuit, and inspect what the fabric gave you.
+//
+//   $ ./build/examples/quickstart
+//
+// This touches the three core ideas of the library: circuits are
+// established dynamically (Fabric::connect), capacity is wavelengths x
+// 224 Gbps, and every circuit carries a physical-layer budget you can
+// check before trusting it.
+#include <cstdio>
+
+#include "lightpath/fabric.hpp"
+
+int main() {
+  using namespace lp;
+
+  // A fabric with one 32-tile wafer (the paper's prototype scale).  One
+  // accelerator stacks on each tile.
+  fabric::Fabric fab;
+  std::printf("wafer: %d x %d tiles, %u accelerators, %.0f Gbps per wavelength\n",
+              fab.wafer(0).rows(), fab.wafer(0).cols(), fab.wafer(0).tile_count(),
+              fab.per_wavelength_rate().to_gbps());
+
+  // Connect accelerator 0 to accelerator 27 with 8 of its 16 wavelengths.
+  const fabric::GlobalTile a{0, 0};
+  const fabric::GlobalTile b{0, 27};
+  auto circuit = fab.connect(a, b, /*wavelengths=*/8);
+  if (!circuit) {
+    std::printf("connect failed: %s\n", circuit.error().message.c_str());
+    return 1;
+  }
+
+  const fabric::Circuit* c = fab.circuit(circuit.value());
+  std::printf("\ncircuit %llu established: tile %u -> tile %u\n",
+              static_cast<unsigned long long>(circuit.value()), a.tile, b.tile);
+  std::printf("  bandwidth:       %.0f Gbps (%.0f GB/s)\n",
+              fab.circuit_bandwidth(circuit.value()).to_gbps(),
+              fab.circuit_bandwidth(circuit.value()).to_gBps());
+  std::printf("  waveguide hops:  %zu (%u turns, %u MZIs programmed)\n",
+              c->waveguide_hop_count(), c->turn_count(), c->mzis_to_program());
+  std::printf("  reconfig time:   %.2f us\n",
+              fab.reconfig().batch_latency(c->mzis_to_program()).to_micros());
+
+  const auto budget = fab.circuit_budget(circuit.value());
+  std::printf("  link budget:     %.2f dB loss, %.1f dBm received, pre-FEC BER %.2e -> %s\n",
+              budget.total_loss.value(), budget.received.to_dbm(), budget.pre_fec_ber,
+              budget.closes ? "closes" : "FAILS");
+
+  // Redirect: tear it down and aim the full egress somewhere else.
+  fab.disconnect(circuit.value());
+  auto redirected = fab.connect(a, fabric::GlobalTile{0, 4}, /*wavelengths=*/16);
+  if (redirected) {
+    std::printf("\nredirected all 16 wavelengths to tile 4: %.0f GB/s on demand\n",
+                fab.circuit_bandwidth(redirected.value()).to_gBps());
+    fab.disconnect(redirected.value());
+  }
+  std::printf("\ntotal reconfigurations this session: %llu batches, %.1f us switching\n",
+              static_cast<unsigned long long>(fab.reconfig().batches()),
+              fab.reconfig().total_time().to_micros());
+  return 0;
+}

@@ -1,0 +1,168 @@
+#include "collective/congestion.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace lp::coll {
+
+using topo::ChipState;
+using topo::DirectedLink;
+using topo::TpuCluster;
+using topo::TpuId;
+
+LinkLoad::LinkLoad(std::size_t link_count) : load_(link_count, 0) {}
+
+void LinkLoad::add(const DirectedLink& link) { ++load_[topo::link_key(link)]; }
+
+void LinkLoad::add_all(const std::vector<DirectedLink>& links) {
+  for (const auto& l : links) add(l);
+}
+
+std::uint32_t LinkLoad::load(const DirectedLink& link) const {
+  return load_[topo::link_key(link)];
+}
+
+std::uint32_t LinkLoad::max_load() const {
+  return load_.empty() ? 0 : *std::max_element(load_.begin(), load_.end());
+}
+
+std::size_t LinkLoad::congested_link_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(load_.begin(), load_.end(), [](std::uint32_t l) { return l > 1; }));
+}
+
+std::size_t LinkLoad::busy_link_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(load_.begin(), load_.end(), [](std::uint32_t l) { return l > 0; }));
+}
+
+SliceTraffic slice_traffic(const TpuCluster& cluster, const topo::Slice& slice,
+                           RingSelection selection) {
+  SliceTraffic traffic;
+  traffic.slice = slice.id;
+  const topo::Shape& rack_shape = cluster.config().rack_shape;
+
+  const auto usable = usable_dims(slice, rack_shape);
+  const auto active = active_dims(slice);
+
+  if (selection == RingSelection::kUsableOnly) {
+    // Realize the electrical plan: snake over partially-spanned dims (plus
+    // the first usable dim), proper rings over the rest.
+    std::vector<std::size_t> snake_dims;
+    std::vector<std::size_t> proper;
+    for (std::size_t d : active) {
+      if (std::find(usable.begin(), usable.end(), d) == usable.end())
+        snake_dims.push_back(d);
+    }
+    if (!snake_dims.empty()) {
+      if (!usable.empty()) {
+        snake_dims.push_back(usable.front());
+        proper.assign(usable.begin() + 1, usable.end());
+      }
+      for (auto& ring : snake_rings(cluster, slice, snake_dims))
+        traffic.rings.push_back(std::move(ring));
+    } else {
+      proper = usable;
+    }
+    for (std::size_t d : proper) {
+      for (auto& ring : rings_in_dim(cluster, slice, d))
+        traffic.rings.push_back(std::move(ring));
+    }
+  } else {
+    for (std::size_t d : active) {
+      for (auto& ring : rings_in_dim(cluster, slice, d))
+        traffic.rings.push_back(std::move(ring));
+    }
+  }
+
+  for (const auto& ring : traffic.rings) {
+    traffic.links.insert(traffic.links.end(), ring.links.begin(), ring.links.end());
+    traffic.transit_chips.insert(traffic.transit_chips.end(), ring.transit_chips.begin(),
+                                 ring.transit_chips.end());
+  }
+  return traffic;
+}
+
+RackAnalysis analyze_rack(const TpuCluster& cluster, const topo::SliceAllocator& alloc,
+                          topo::RackId rack, RingSelection selection) {
+  RackAnalysis analysis{LinkLoad{cluster.directed_link_count()}, {}, false, 0};
+  for (topo::SliceId id : alloc.active_slices()) {
+    const topo::Slice* s = alloc.slice(id);
+    if (s == nullptr || s->rack != rack) continue;
+    SliceTraffic traffic = slice_traffic(cluster, *s, selection);
+    analysis.load.add_all(traffic.links);
+    for (TpuId transit : traffic.transit_chips) {
+      if (alloc.owner(transit).has_value()) ++analysis.foreign_transits;
+    }
+    analysis.per_slice.push_back(std::move(traffic));
+  }
+  analysis.congestion_free = analysis.load.congestion_free() &&
+                             analysis.foreign_transits == 0;
+  return analysis;
+}
+
+std::optional<std::vector<TpuId>> find_uncongested_path(const TpuCluster& cluster,
+                                                        const topo::SliceAllocator& alloc,
+                                                        const LinkLoad& busy, TpuId from,
+                                                        TpuId to) {
+  // BFS over chips within the rack of `from`.
+  std::vector<std::int32_t> parent(static_cast<std::size_t>(cluster.chip_count()), -2);
+  std::deque<TpuId> queue;
+  parent[static_cast<std::size_t>(from)] = -1;
+  queue.push_back(from);
+  while (!queue.empty()) {
+    const TpuId at = queue.front();
+    queue.pop_front();
+    for (std::uint8_t d = 0; d < topo::kDims; ++d) {
+      for (std::int8_t sign : {std::int8_t{+1}, std::int8_t{-1}}) {
+        const DirectedLink link{at, d, sign};
+        if (busy.load(link) > 0) continue;  // link already carries a transfer
+        const TpuId next = cluster.link_target(link);
+        if (parent[static_cast<std::size_t>(next)] != -2) continue;
+        if (cluster.state(next) == ChipState::kFailed) continue;
+        // Intermediate chips must be free; the destination may be any
+        // non-failed chip (the repair target is free by construction, but
+        // callers may probe arbitrary endpoints).
+        if (next != to && alloc.owner(next).has_value()) continue;
+        parent[static_cast<std::size_t>(next)] = at;
+        if (next == to) {
+          std::vector<TpuId> path{to};
+          TpuId walk = to;
+          while (parent[static_cast<std::size_t>(walk)] != -1) {
+            walk = parent[static_cast<std::size_t>(walk)];
+            path.push_back(walk);
+          }
+          std::reverse(path.begin(), path.end());
+          return path;
+        }
+        queue.push_back(next);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<DirectedLink> links_on_chip_path(const TpuCluster& cluster,
+                                             const std::vector<TpuId>& path) {
+  std::vector<DirectedLink> links;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const topo::Coord a = cluster.coord_of(path[i]);
+    const topo::Coord b = cluster.coord_of(path[i + 1]);
+    for (std::uint8_t d = 0; d < topo::kDims; ++d) {
+      if (a[d] == b[d]) continue;
+      const std::int32_t e = cluster.config().rack_shape[d];
+      std::int8_t sign;
+      if ((a[d] + 1) % e == b[d]) {
+        sign = +1;
+      } else {
+        sign = -1;
+      }
+      links.push_back(DirectedLink{path[i], d, sign});
+      break;
+    }
+  }
+  return links;
+}
+
+}  // namespace lp::coll

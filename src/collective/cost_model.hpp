@@ -1,0 +1,154 @@
+// The alpha-beta-r cost model for collective communication (paper §4.1).
+//
+// alpha: per-step software overhead of sending a buffer.
+// beta:  transmission delay, inversely proportional to the bandwidth a ring
+//        step can use.
+// r:     optical reconfiguration latency charged before each optically
+//        redirected ring stage (3.7 us on LIGHTPATH).
+//
+// A collective on a slice is lowered to a *plan*: an ordered list of ring
+// stages (Table 2 shows Slice-3's two stages).  The plan structure is the
+// same for electrical and optical interconnects — what differs is the
+// bandwidth each stage gets:
+//
+//   electrical           B / D_total    (static split across torus dims)
+//   optical static-split B / n_stages   (idle dims redirected, split over
+//                                        the plan's stages; Tables 1-2)
+//   optical full         B              (everything redirected to the one
+//                                        active stage; ablation variant)
+//
+// Plan construction encodes the paper's congestion rule: on the electrical
+// torus a dimension is ring-usable only if the slice spans the rack's full
+// extent in it (direction-uniform bucket rings need the wraparound);
+// partially-spanned dimensions are folded with the first usable dimension
+// into a serpentine (Hamiltonian) ring, which is why Slice-1 (4x2x1) runs
+// one 8-chip ring (7 steps) at one dimension's bandwidth — Table 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/slice.hpp"
+#include "topo/torus.hpp"
+#include "util/units.hpp"
+
+namespace lp::coll {
+
+enum class Interconnect : std::uint8_t { kElectrical, kOptical };
+
+enum class RedirectStrategy : std::uint8_t {
+  kStaticSplit,   ///< idle-dim bandwidth split evenly across plan stages (paper)
+  kPerStageFull,  ///< full chip bandwidth redirected to each stage in turn
+};
+
+struct CostParams {
+  /// Software overhead per ring step.
+  Duration alpha{Duration::micros(1.0)};
+  /// Optical reconfiguration latency r (LIGHTPATH: 3.7 us).
+  Duration reconfig{Duration::micros(3.7)};
+  /// Total egress bandwidth per chip (B).
+  Bandwidth chip_bandwidth{Bandwidth::gBps(300.0)};
+  /// Physical torus dimensionality (D); electrical splits B over D dims.
+  std::uint32_t total_dims{topo::kDims};
+};
+
+/// One ring stage of a lowered collective plan.
+struct RingStage {
+  /// Number of chips on each ring of this stage.
+  std::int32_t ring_size{0};
+  /// Fraction of the original buffer each ring of this stage operates on
+  /// (1 for the first ReduceScatter stage, then divided by each previous
+  /// stage's ring size).
+  double buffer_fraction{1.0};
+  /// Physical dimension the stage's rings run along; kSnakeDim for the
+  /// folded serpentine stage.
+  std::int32_t dim{0};
+  bool snake{false};
+};
+
+inline constexpr std::int32_t kSnakeDim = -1;
+
+/// Lowered structure of a collective on a slice (interconnect-independent).
+struct CollectivePlan {
+  std::vector<RingStage> stages;
+  std::int32_t chip_count{0};
+
+  /// Sum over stages of (ring_size - 1): the alpha step count of one
+  /// ReduceScatter (or one AllGather).
+  [[nodiscard]] std::int32_t alpha_steps() const;
+};
+
+/// Builds the ring-stage plan for a slice in a rack, applying the
+/// wraparound-usability rule described above.
+[[nodiscard]] CollectivePlan build_plan(const topo::Slice& slice,
+                                        const topo::Shape& rack_shape);
+
+/// Dimensions of the slice that can host congestion-free electrical rings
+/// (extent equals the rack extent).
+[[nodiscard]] std::vector<std::size_t> usable_dims(const topo::Slice& slice,
+                                                   const topo::Shape& rack_shape);
+
+/// Dimensions where the slice actually needs communication (extent > 1).
+[[nodiscard]] std::vector<std::size_t> active_dims(const topo::Slice& slice);
+
+/// Cost of one collective under the model.
+struct CollectiveCost {
+  std::int32_t alpha_steps{0};
+  std::int32_t reconfigs{0};
+  Duration beta_time{Duration::zero()};
+
+  [[nodiscard]] Duration alpha_time(const CostParams& p) const {
+    return p.alpha * static_cast<double>(alpha_steps);
+  }
+  [[nodiscard]] Duration reconfig_time(const CostParams& p) const {
+    return p.reconfig * static_cast<double>(reconfigs);
+  }
+  [[nodiscard]] Duration total(const CostParams& p) const {
+    return alpha_time(p) + reconfig_time(p) + beta_time;
+  }
+};
+
+/// Cost of a ReduceScatter of buffer `n` over `plan` on the given
+/// interconnect.  (AllGather has the identical cost; AllReduce is the sum.)
+[[nodiscard]] CollectiveCost reduce_scatter_cost(const CollectivePlan& plan, DataSize n,
+                                                 Interconnect interconnect,
+                                                 const CostParams& params,
+                                                 RedirectStrategy strategy =
+                                                     RedirectStrategy::kStaticSplit);
+
+[[nodiscard]] CollectiveCost all_gather_cost(const CollectivePlan& plan, DataSize n,
+                                             Interconnect interconnect,
+                                             const CostParams& params,
+                                             RedirectStrategy strategy =
+                                                 RedirectStrategy::kStaticSplit);
+
+[[nodiscard]] CollectiveCost all_reduce_cost(const CollectivePlan& plan, DataSize n,
+                                             Interconnect interconnect,
+                                             const CostParams& params,
+                                             RedirectStrategy strategy =
+                                                 RedirectStrategy::kStaticSplit);
+
+/// Theoretical beta lower bound of ReduceScatter over p chips with full
+/// bandwidth B: (p-1)/p * N/B.
+[[nodiscard]] Duration optimal_reduce_scatter_beta(DataSize n, std::int32_t chips,
+                                                   Bandwidth total);
+
+/// Per-chip bandwidth utilization of the plan on the given interconnect:
+/// the fraction of chip egress bandwidth the collective keeps busy during
+/// its beta phase (the quantity plotted in Figure 5c).
+[[nodiscard]] double bandwidth_utilization(const CollectivePlan& plan,
+                                           Interconnect interconnect,
+                                           const CostParams& params,
+                                           RedirectStrategy strategy =
+                                               RedirectStrategy::kStaticSplit);
+
+/// Cost of the simultaneous multi-order bucket variant ([41]-style) on the
+/// electrical torus: the buffer is split across the plan's stages, each
+/// shard cycling the stage order so every usable dimension stays busy.
+/// Used by the ablation bench; the paper argues it cannot help slices with
+/// a single usable dimension.
+[[nodiscard]] CollectiveCost simultaneous_reduce_scatter_cost(const CollectivePlan& plan,
+                                                              DataSize n,
+                                                              const CostParams& params);
+
+}  // namespace lp::coll

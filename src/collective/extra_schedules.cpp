@@ -1,0 +1,112 @@
+#include "collective/extra_schedules.hpp"
+
+#include <algorithm>
+
+namespace lp::coll {
+
+Schedule build_all_gather_schedule(const topo::TpuCluster& cluster,
+                                   const topo::Slice& slice, DataSize n,
+                                   Interconnect interconnect, const CostParams& params,
+                                   RedirectStrategy strategy) {
+  // The AllGather of the bucket algorithm runs the stages in reverse with
+  // identical per-step volumes; reversing the ReduceScatter schedule's
+  // phase order produces exactly that (pre-delays move with their stage
+  // boundary, preserving one reconfiguration per stage).
+  Schedule rs =
+      build_reduce_scatter_schedule(cluster, slice, n, interconnect, params, strategy);
+  std::reverse(rs.phases.begin(), rs.phases.end());
+  // After reversal the reconfig pre-delays sit on the *last* phase of each
+  // stage; shift each to the first phase of its run.
+  for (std::size_t i = 0; i < rs.phases.size(); ++i) {
+    if (rs.phases[i].pre_delay > Duration::zero() && i > 0) {
+      // Find the start of this stage run: walk back while phases have the
+      // same transfer shape (same per-transfer byte count).
+      std::size_t start = i;
+      const double bytes = rs.phases[i].transfers.empty()
+                               ? 0.0
+                               : rs.phases[i].transfers[0].bytes.to_bytes();
+      while (start > 0 && !rs.phases[start - 1].transfers.empty() &&
+             rs.phases[start - 1].transfers[0].bytes.to_bytes() == bytes &&
+             rs.phases[start - 1].pre_delay == Duration::zero()) {
+        --start;
+      }
+      std::swap(rs.phases[i].pre_delay, rs.phases[start].pre_delay);
+    }
+  }
+  return rs;
+}
+
+Schedule build_all_reduce_schedule(const topo::TpuCluster& cluster,
+                                   const topo::Slice& slice, DataSize n,
+                                   Interconnect interconnect, const CostParams& params,
+                                   RedirectStrategy strategy) {
+  Schedule rs =
+      build_reduce_scatter_schedule(cluster, slice, n, interconnect, params, strategy);
+  Schedule ag =
+      build_all_gather_schedule(cluster, slice, n, interconnect, params, strategy);
+  if (interconnect == Interconnect::kOptical &&
+      strategy == RedirectStrategy::kStaticSplit) {
+    // Circuits stay up between the two halves: drop the gather's reconfigs.
+    for (auto& phase : ag.phases) phase.pre_delay = Duration::zero();
+  }
+  for (auto& phase : ag.phases) rs.phases.push_back(std::move(phase));
+  return rs;
+}
+
+Schedule build_broadcast_schedule(const topo::TpuCluster& cluster,
+                                  const topo::Slice& slice, DataSize n, unsigned chunks,
+                                  Interconnect interconnect, const CostParams& params) {
+  Schedule schedule;
+  if (chunks == 0) return schedule;
+  // One ring over every chip: serpentine across all active dims.
+  auto dims = active_dims(slice);
+  if (dims.empty()) return schedule;
+  const auto rings = snake_rings(cluster, slice, dims);
+  if (rings.size() != 1) return schedule;  // serpentine over all dims is one ring
+  const RingRealization& ring = rings[0];
+  const std::size_t p = ring.members.size();
+  const DataSize chunk = n / static_cast<double>(chunks);
+  const Bandwidth opt_bw = params.chip_bandwidth;  // single ring: full redirect
+
+  // Edge routes for electrical transfers.
+  std::vector<std::vector<topo::DirectedLink>> routes(p);
+  {
+    std::size_t li = 0;
+    for (std::size_t e = 0; e < p; ++e) {
+      const topo::TpuId target = ring.members[(e + 1) % p];
+      topo::TpuId at = ring.members[e];
+      while (at != target && li < ring.links.size()) {
+        routes[e].push_back(ring.links[li]);
+        at = cluster.link_target(ring.links[li]);
+        ++li;
+      }
+    }
+  }
+
+  const std::size_t total_phases = (p - 1) + (chunks - 1);
+  for (std::size_t t = 0; t < total_phases; ++t) {
+    Phase phase;
+    if (t == 0 && interconnect == Interconnect::kOptical)
+      phase.pre_delay = params.reconfig;
+    // Edge j (member j -> j+1) forwards chunk (t - j) if it exists.  The
+    // last edge (back to the root) carries nothing.
+    for (std::size_t j = 0; j + 1 < p && j <= t; ++j) {
+      const std::size_t chunk_index = t - j;
+      if (chunk_index >= chunks) continue;
+      Transfer tr;
+      tr.src = ring.members[j];
+      tr.dst = ring.members[j + 1];
+      tr.bytes = chunk;
+      if (interconnect == Interconnect::kOptical) {
+        tr.dedicated_rate = opt_bw;
+      } else {
+        tr.route = routes[j];
+      }
+      phase.transfers.push_back(std::move(tr));
+    }
+    if (!phase.transfers.empty()) schedule.phases.push_back(std::move(phase));
+  }
+  return schedule;
+}
+
+}  // namespace lp::coll

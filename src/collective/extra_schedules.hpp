@@ -1,0 +1,46 @@
+// Additional collective schedules: AllGather, AllReduce, and pipelined
+// Broadcast.
+//
+// ReduceScatter (schedule.hpp) is the paper's running example; real
+// training steps run AllReduce = ReduceScatter + AllGather, and serving
+// systems broadcast weights.  These builders reuse the same ring
+// realizations and interconnect conventions, so every experiment can be
+// repeated for the other primitives.
+#pragma once
+
+#include "collective/schedule.hpp"
+
+namespace lp::coll {
+
+/// AllGather over the slice's plan rings: mirror image of ReduceScatter —
+/// same step count, same per-step bytes, stages in reverse order (the
+/// gather grows the shard each stage).
+[[nodiscard]] Schedule build_all_gather_schedule(const topo::TpuCluster& cluster,
+                                                 const topo::Slice& slice, DataSize n,
+                                                 Interconnect interconnect,
+                                                 const CostParams& params,
+                                                 RedirectStrategy strategy =
+                                                     RedirectStrategy::kStaticSplit);
+
+/// AllReduce = ReduceScatter followed by AllGather on the same rings.  With
+/// the static-split strategy the circuits persist across both halves, so
+/// only the first half pays reconfiguration.
+[[nodiscard]] Schedule build_all_reduce_schedule(const topo::TpuCluster& cluster,
+                                                 const topo::Slice& slice, DataSize n,
+                                                 Interconnect interconnect,
+                                                 const CostParams& params,
+                                                 RedirectStrategy strategy =
+                                                     RedirectStrategy::kStaticSplit);
+
+/// Pipelined ring broadcast from the slice's first chip: the buffer is cut
+/// into `chunks` pieces that flow down a single ring covering all chips
+/// (the plan's first stage ring if it covers everything, else a serpentine
+/// over the whole slice).  Phase t activates ring edge j for chunk t-j,
+/// 0 <= t-j < chunks: p-1+chunks-1 phases total.
+[[nodiscard]] Schedule build_broadcast_schedule(const topo::TpuCluster& cluster,
+                                                const topo::Slice& slice, DataSize n,
+                                                unsigned chunks,
+                                                Interconnect interconnect,
+                                                const CostParams& params);
+
+}  // namespace lp::coll

@@ -1,0 +1,111 @@
+#include "collective/schedule.hpp"
+
+#include <algorithm>
+
+namespace lp::coll {
+
+std::size_t Schedule::transfer_count() const {
+  std::size_t n = 0;
+  for (const auto& p : phases) n += p.transfers.size();
+  return n;
+}
+
+DataSize Schedule::total_bytes() const {
+  DataSize total = DataSize::zero();
+  for (const auto& p : phases) {
+    for (const auto& t : p.transfers) total += t.bytes;
+  }
+  return total;
+}
+
+namespace {
+
+/// Rings realizing one plan stage.
+std::vector<RingRealization> realize_stage(const topo::TpuCluster& cluster,
+                                           const topo::Slice& slice,
+                                           const RingStage& stage) {
+  if (stage.snake) {
+    // Recover the snake dims the plan folded: partially-spanned active dims
+    // plus the first usable dim.
+    const topo::Shape& rack_shape = cluster.config().rack_shape;
+    const auto usable = usable_dims(slice, rack_shape);
+    std::vector<std::size_t> snake_dims;
+    for (std::size_t d : active_dims(slice)) {
+      if (std::find(usable.begin(), usable.end(), d) == usable.end())
+        snake_dims.push_back(d);
+    }
+    if (!usable.empty()) snake_dims.push_back(usable.front());
+    return snake_rings(cluster, slice, snake_dims);
+  }
+  return rings_in_dim(cluster, slice, static_cast<std::size_t>(stage.dim));
+}
+
+/// The directed links of one cycle edge of a realized ring.  The realized
+/// link list is ordered edge-by-edge, so recover edge boundaries by walking.
+std::vector<std::vector<topo::DirectedLink>> edge_routes(const topo::TpuCluster& cluster,
+                                                         const RingRealization& ring) {
+  std::vector<std::vector<topo::DirectedLink>> routes(ring.members.size());
+  std::size_t li = 0;
+  for (std::size_t e = 0; e < ring.members.size(); ++e) {
+    const topo::TpuId target = ring.members[(e + 1) % ring.members.size()];
+    topo::TpuId at = ring.members[e];
+    while (at != target && li < ring.links.size()) {
+      routes[e].push_back(ring.links[li]);
+      at = cluster.link_target(ring.links[li]);
+      ++li;
+    }
+  }
+  return routes;
+}
+
+}  // namespace
+
+Schedule build_reduce_scatter_schedule(const topo::TpuCluster& cluster,
+                                       const topo::Slice& slice, DataSize n,
+                                       Interconnect interconnect,
+                                       const CostParams& params,
+                                       RedirectStrategy strategy) {
+  Schedule schedule;
+  const CollectivePlan plan = build_plan(slice, cluster.config().rack_shape);
+  const Bandwidth elec_bw =
+      params.chip_bandwidth / static_cast<double>(params.total_dims);
+  const Bandwidth opt_bw =
+      strategy == RedirectStrategy::kPerStageFull
+          ? params.chip_bandwidth
+          : params.chip_bandwidth /
+                static_cast<double>(std::max<std::size_t>(1, plan.stages.size()));
+
+  for (const RingStage& stage : plan.stages) {
+    const auto rings = realize_stage(cluster, slice, stage);
+    const auto steps = stage.ring_size - 1;
+    // Each chip's shard of this stage: buffer_fraction * N split over the
+    // ring, sent once per step.
+    const DataSize per_step =
+        n * (stage.buffer_fraction / static_cast<double>(stage.ring_size));
+    for (std::int32_t step = 0; step < steps; ++step) {
+      Phase phase;
+      if (step == 0 && interconnect == Interconnect::kOptical)
+        phase.pre_delay = params.reconfig;
+      for (const auto& ring : rings) {
+        const auto routes = edge_routes(cluster, ring);
+        for (std::size_t e = 0; e < ring.members.size(); ++e) {
+          Transfer t;
+          t.src = ring.members[e];
+          t.dst = ring.members[(e + 1) % ring.members.size()];
+          t.bytes = per_step;
+          if (interconnect == Interconnect::kOptical) {
+            t.dedicated_rate = opt_bw;
+          } else {
+            t.route = routes[e];
+            (void)elec_bw;  // electrical rate comes from link capacities
+          }
+          phase.transfers.push_back(std::move(t));
+        }
+      }
+      schedule.phases.push_back(std::move(phase));
+    }
+  }
+  return schedule;
+}
+
+}  // namespace lp::coll

@@ -1,0 +1,63 @@
+// Dynamic bandwidth redirection — the paper's headline capability (§4.1,
+// "Opportunity: redirect GPU bandwidth on demand").
+//
+// The BandwidthManager turns a collective plan's ring stages into actual
+// fabric circuits: for each ring edge it establishes a circuit carrying the
+// stage's share of the chip's wavelengths, so a chip whose torus neighbors
+// would idle 2/3 of its I/O instead drives everything at its active ring
+// neighbor.  It reports the reconfiguration latency (the `r` of the cost
+// model) and verifies the provisioned rate matches what the cost model
+// assumed.
+#pragma once
+
+#include <vector>
+
+#include "collective/cost_model.hpp"
+#include "collective/ring.hpp"
+#include "core/photonic_rack.hpp"
+#include "topo/slice.hpp"
+#include "util/result.hpp"
+
+namespace lp::core {
+
+/// Circuits provisioned for one ring stage.
+struct StageCircuits {
+  std::vector<fabric::CircuitId> circuits;
+  /// Wavelengths each circuit carries.
+  std::uint32_t wavelengths{0};
+  /// Rate each ring edge gets.
+  Bandwidth edge_rate{Bandwidth::zero()};
+  /// Latency to program this stage's circuits.
+  Duration reconfig_latency{Duration::zero()};
+};
+
+class BandwidthManager {
+ public:
+  explicit BandwidthManager(PhotonicRack& rack);
+
+  /// Provision circuits for every ring of one plan stage of `slice`,
+  /// splitting the tile's wavelengths across the plan's stages per the
+  /// redirect strategy.  Fails (releasing partial work) if the fabric lacks
+  /// resources.
+  Result<StageCircuits> provision_stage(const topo::Slice& slice,
+                                        const coll::CollectivePlan& plan,
+                                        std::size_t stage_index,
+                                        coll::RedirectStrategy strategy =
+                                            coll::RedirectStrategy::kStaticSplit);
+
+  /// Releases a stage's circuits.
+  void release_stage(const StageCircuits& stage);
+
+  /// Provision all stages at once (static split across stages).  With
+  /// kPerStageFull the caller should provision/release stage-by-stage
+  /// instead, paying one reconfiguration per stage.
+  Result<std::vector<StageCircuits>> provision_all(const topo::Slice& slice,
+                                                   const coll::CollectivePlan& plan);
+
+  [[nodiscard]] PhotonicRack& rack() { return rack_; }
+
+ private:
+  PhotonicRack& rack_;
+};
+
+}  // namespace lp::core

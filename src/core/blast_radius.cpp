@@ -1,0 +1,141 @@
+#include "core/blast_radius.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace lp::core {
+
+using topo::ChipState;
+using topo::TpuCluster;
+using topo::TpuId;
+
+std::vector<TpuId> broken_ring_neighbors(const TpuCluster& cluster,
+                                         const topo::Slice& slice, TpuId failed) {
+  std::vector<TpuId> neighbors;
+  const auto traffic =
+      coll::slice_traffic(cluster, slice, coll::RingSelection::kUsableOnly);
+  for (const auto& ring : traffic.rings) {
+    const auto it = std::find(ring.members.begin(), ring.members.end(), failed);
+    if (it == ring.members.end()) continue;
+    const std::size_t i = static_cast<std::size_t>(it - ring.members.begin());
+    const std::size_t n = ring.members.size();
+    neighbors.push_back(ring.members[(i + n - 1) % n]);
+    neighbors.push_back(ring.members[(i + 1) % n]);
+  }
+  // Dedup, preserve order.
+  std::vector<TpuId> unique;
+  for (TpuId t : neighbors) {
+    if (t != failed && std::find(unique.begin(), unique.end(), t) == unique.end())
+      unique.push_back(t);
+  }
+  return unique;
+}
+
+ElectricalRepairAttempt attempt_electrical_repair(const TpuCluster& cluster,
+                                                  const topo::SliceAllocator& alloc,
+                                                  TpuId failed) {
+  ElectricalRepairAttempt best;
+  const auto owner = alloc.owner(failed);
+  if (!owner) return best;
+  const topo::Slice* slice = alloc.slice(*owner);
+  if (slice == nullptr) return best;
+
+  const auto neighbors = broken_ring_neighbors(cluster, *slice, failed);
+  if (neighbors.empty()) return best;
+
+  // Busy links: the steady-state rings of every slice in the rack.
+  const auto analysis = coll::analyze_rack(cluster, alloc, slice->rack,
+                                           coll::RingSelection::kUsableOnly);
+  coll::LinkLoad busy{cluster.directed_link_count()};
+  for (const auto& st : analysis.per_slice) busy.add_all(st.links);
+
+  for (TpuId spare : cluster.free_chips_in_rack(slice->rack)) {
+    ElectricalRepairAttempt attempt;
+    attempt.spare = spare;
+    bool all_ok = true;
+    for (TpuId n : neighbors) {
+      auto path = coll::find_uncongested_path(cluster, alloc, busy, n, spare);
+      if (!path) {
+        all_ok = false;
+        break;
+      }
+      attempt.paths.push_back(std::move(*path));
+    }
+    if (all_ok) {
+      attempt.feasible = true;
+      return attempt;
+    }
+    if (attempt.paths.size() > best.paths.size()) best = std::move(attempt);
+  }
+  return best;
+}
+
+FailureImpact assess_failure(TpuCluster& cluster, topo::SliceAllocator& alloc,
+                             TpuId failed, FailurePolicy policy,
+                             const FailureImpactParams& params,
+                             PhotonicRack* rack_fabric) {
+  FailureImpact impact;
+  impact.policy = policy;
+  cluster.set_state(failed, ChipState::kFailed);
+
+  const auto owner = alloc.owner(failed);
+  const topo::Slice* slice = owner ? alloc.slice(*owner) : nullptr;
+  impact.jobs_interrupted = slice != nullptr ? 1 : 0;
+
+  switch (policy) {
+    case FailurePolicy::kRackMigration: {
+      // The whole rack is drained and the job restarts elsewhere: every
+      // chip in the rack is inside the blast radius.
+      impact.blast_radius_chips = cluster.chips_per_rack();
+      impact.recovery_time = params.migration_time;
+      impact.congestion_free = true;  // fresh rack, clean torus
+      impact.feasible = true;
+      break;
+    }
+    case FailurePolicy::kElectricalRepair: {
+      const auto attempt = attempt_electrical_repair(cluster, alloc, failed);
+      impact.feasible = attempt.feasible;
+      impact.congestion_free = attempt.feasible;
+      // In-place repair touches the failed chip and the spare.
+      impact.blast_radius_chips = attempt.feasible ? 2 : cluster.chips_per_rack();
+      impact.recovery_time =
+          attempt.feasible ? Duration::millis(1.0) : params.migration_time;
+      break;
+    }
+    case FailurePolicy::kOpticalRepair: {
+      if (rack_fabric == nullptr || slice == nullptr) break;
+      const auto neighbors = broken_ring_neighbors(cluster, *slice, failed);
+      const auto free_chips = cluster.free_chips_in_rack(slice->rack);
+      if (free_chips.empty() || neighbors.empty()) break;
+
+      std::vector<fabric::GlobalTile> candidates;
+      candidates.reserve(free_chips.size());
+      for (TpuId c : free_chips) candidates.push_back(rack_fabric->tile_of(c));
+      std::vector<fabric::GlobalTile> neighbor_tiles;
+      neighbor_tiles.reserve(neighbors.size());
+      for (TpuId n : neighbors) neighbor_tiles.push_back(rack_fabric->tile_of(n));
+
+      const auto choice =
+          routing::choose_spare(rack_fabric->fabric(), candidates, neighbor_tiles);
+      if (!choice) break;
+      routing::RepairRequest req;
+      req.spare = candidates[choice.value()];
+      req.neighbors = neighbor_tiles;
+      const auto plan = routing::repair_with_spare(rack_fabric->fabric(), req);
+      impact.feasible = plan.complete;
+      impact.congestion_free = plan.complete;  // dedicated circuits
+      // Blast radius: the failed chip's server (it is pulled for service)
+      // — the paper's headline reduction.
+      impact.blast_radius_chips =
+          plan.complete ? static_cast<std::int32_t>(
+                              cluster.server_chips(failed).size())
+                        : cluster.chips_per_rack();
+      impact.recovery_time =
+          plan.complete ? plan.reconfig_latency : params.migration_time;
+      break;
+    }
+  }
+  return impact;
+}
+
+}  // namespace lp::core

@@ -1,0 +1,83 @@
+// Blast-radius analysis of accelerator failures (§4.2).
+//
+// Today's policy handles a TPU failure at rack granularity: the whole job
+// migrates to a fresh set of racks and the OCS layer re-wires them ([60]).
+// The paper argues (Figures 6-7) that an in-place electrical repair is
+// generally impossible without congestion, while per-chip optical circuits
+// can wire a spare into the broken rings congestion-free, shrinking the
+// blast radius from a rack to a server.
+//
+// This module implements all three responses and quantifies them:
+//   * kRackMigration  — the [60] baseline
+//   * kElectricalRepair — best-effort in-place repair over the torus
+//     (searches congestion-free paths; usually infeasible, per Figure 6)
+//   * kOpticalRepair  — Figure 7 on a PhotonicRack
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "collective/congestion.hpp"
+#include "core/photonic_rack.hpp"
+#include "routing/repair.hpp"
+#include "topo/cluster.hpp"
+#include "topo/slice.hpp"
+
+namespace lp::core {
+
+enum class FailurePolicy : std::uint8_t {
+  kRackMigration,
+  kElectricalRepair,
+  kOpticalRepair,
+};
+
+struct FailureImpactParams {
+  /// Checkpoint-restore cost of migrating a job to fresh racks.
+  Duration migration_time{Duration::seconds(600.0)};
+};
+
+struct FailureImpact {
+  FailurePolicy policy{};
+  /// Chips whose assignment changes or that go idle because of the failure.
+  std::int32_t blast_radius_chips{0};
+  /// Interrupted tenant jobs (slices).
+  std::int32_t jobs_interrupted{0};
+  /// Time until the affected job is running again.
+  Duration recovery_time{Duration::zero()};
+  /// Whether the post-recovery traffic is congestion-free.
+  bool congestion_free{false};
+  /// Whether the policy could handle the failure at all.
+  bool feasible{false};
+};
+
+/// The failed chip's ring neighbors that lose a peer: for every ring of the
+/// owning slice's electrical plan that contains the failed chip, its
+/// predecessor and successor.
+[[nodiscard]] std::vector<topo::TpuId> broken_ring_neighbors(
+    const topo::TpuCluster& cluster, const topo::Slice& slice, topo::TpuId failed);
+
+/// Result of attempting an in-place electrical repair (Figure 6): for the
+/// chosen spare, per-neighbor congestion-free paths, if they all exist.
+struct ElectricalRepairAttempt {
+  topo::TpuId spare{-1};
+  std::vector<std::vector<topo::TpuId>> paths;  ///< one per neighbor
+  bool feasible{false};
+};
+
+/// Tries every free chip in the rack as the spare; paths must avoid links
+/// used by any slice's steady-state rings and must not transit allocated
+/// chips.  Returns the first fully-connectable spare, or an attempt with
+/// feasible=false recording the best effort.
+[[nodiscard]] ElectricalRepairAttempt attempt_electrical_repair(
+    const topo::TpuCluster& cluster, const topo::SliceAllocator& alloc,
+    topo::TpuId failed);
+
+/// Assesses a failure under a policy.  `rack_fabric` is required for
+/// kOpticalRepair and ignored otherwise.
+[[nodiscard]] FailureImpact assess_failure(topo::TpuCluster& cluster,
+                                           topo::SliceAllocator& alloc,
+                                           topo::TpuId failed, FailurePolicy policy,
+                                           const FailureImpactParams& params = {},
+                                           PhotonicRack* rack_fabric = nullptr);
+
+}  // namespace lp::core

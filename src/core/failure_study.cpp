@@ -1,0 +1,57 @@
+#include "core/failure_study.hpp"
+
+#include "core/photonic_rack.hpp"
+#include "topo/slice.hpp"
+
+namespace lp::core {
+
+AvailabilityReport run_failure_study(FailurePolicy policy,
+                                     const FailureStudyParams& params) {
+  AvailabilityReport report;
+  report.policy = policy;
+  Rng rng{params.seed};
+
+  // Fleet failure rate: fleet_chips / mtbf per hour.
+  const double rate_per_hour =
+      static_cast<double>(params.fleet_chips) / params.mtbf_hours;
+
+  double t = rng.exponential(rate_per_hour);
+  while (t < params.horizon_hours) {
+    ++report.failures;
+
+    // Fresh representative rack per failure (independent-failures model).
+    topo::TpuCluster cluster;
+    topo::SliceAllocator alloc{cluster};
+    (void)alloc.allocate_at(0, topo::Coord{{0, 0, 0}}, topo::Shape{{4, 4, 2}});
+    (void)alloc.allocate_at(0, topo::Coord{{0, 0, 2}}, topo::Shape{{4, 4, 1}});
+    (void)alloc.allocate_at(0, topo::Coord{{0, 0, 3}}, topo::Shape{{4, 2, 1}});
+
+    // Pick a random allocated victim.
+    const auto allocated = cluster.chips_in_state(topo::ChipState::kAllocated);
+    const auto victim =
+        allocated[rng.uniform_index(allocated.size())];
+
+    PhotonicRack rack{cluster, 0};
+    const auto impact = assess_failure(
+        cluster, alloc, victim, policy, params.impact,
+        policy == FailurePolicy::kOpticalRepair ? &rack : nullptr);
+
+    if (!impact.feasible) {
+      ++report.unrecovered;
+      // Unrecoverable in place: falls back to migration cost.
+      report.chip_hours_lost += static_cast<double>(cluster.chips_per_rack()) *
+                                params.impact.migration_time.to_seconds() / 3600.0;
+    } else {
+      report.chip_hours_lost += static_cast<double>(impact.blast_radius_chips) *
+                                impact.recovery_time.to_seconds() / 3600.0;
+    }
+    t += rng.exponential(rate_per_hour);
+  }
+
+  const double fleet_hours =
+      static_cast<double>(params.fleet_chips) * params.horizon_hours;
+  report.availability = 1.0 - report.chip_hours_lost / fleet_hours;
+  return report;
+}
+
+}  // namespace lp::core

@@ -1,0 +1,47 @@
+// Monte-Carlo failure injection and availability accounting.
+//
+// Extends §4.2 from a single-failure argument to a fleet-level study: chips
+// fail as a Poisson process (per-chip MTBF), each failure is handled by one
+// of the recovery policies, and the cost is accounted as chip-hours lost —
+// blast-radius chips idle for the recovery time.  The availability bench
+// shows how the rack-migration policy's 64-chip x minutes blast radius
+// compounds at scale while optical repair's 4-chip x microseconds cost
+// vanishes.
+#pragma once
+
+#include <cstdint>
+
+#include "core/blast_radius.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace lp::core {
+
+struct FailureStudyParams {
+  /// Per-chip mean time between failures.
+  double mtbf_hours{50000.0};
+  /// Simulated horizon.
+  double horizon_hours{24.0 * 90.0};
+  /// Chips in the fleet (64 racks x 64 chips by default).
+  std::int32_t fleet_chips{4096};
+  std::uint64_t seed{0xfa11};
+  FailureImpactParams impact{};
+};
+
+struct AvailabilityReport {
+  FailurePolicy policy{};
+  std::uint64_t failures{0};
+  std::uint64_t unrecovered{0};
+  double chip_hours_lost{0.0};
+  /// 1 - lost / (fleet_chips * horizon).
+  double availability{1.0};
+};
+
+/// Runs the study for one policy.  Each failure is assessed against a
+/// fresh, representatively packed rack (the Figure 5 packing with one free
+/// region), so failures are independent — a deliberate simplification that
+/// isolates the per-failure cost difference between policies.
+[[nodiscard]] AvailabilityReport run_failure_study(FailurePolicy policy,
+                                                   const FailureStudyParams& params = {});
+
+}  // namespace lp::core

@@ -1,0 +1,83 @@
+#include "core/host_stack.hpp"
+
+#include <algorithm>
+
+namespace lp::core {
+
+using fabric::CircuitId;
+using fabric::GlobalTile;
+
+HostStack::HostStack(fabric::Fabric& fab, HostStackParams params)
+    : fabric_{fab}, params_{params} {}
+
+bool HostStack::has_circuit(GlobalTile src, GlobalTile dst) const {
+  return circuits_.contains(Key{src, dst});
+}
+
+Result<CircuitId> HostStack::establish(const Key& key) {
+  return fabric_.connect(key.src, key.dst, params_.wavelengths_per_circuit);
+}
+
+Result<Duration> HostStack::send(GlobalTile src, GlobalTile dst, DataSize bytes) {
+  ++stats_.messages;
+  const Key key{src, dst};
+  SrcState& state = sources_[src];
+
+  Duration latency = Duration::zero();
+  auto it = circuits_.find(key);
+  if (it != circuits_.end()) {
+    ++stats_.hits;
+    // Refresh LRU position.
+    state.lru.remove(key);
+    state.lru.push_front(key);
+  } else {
+    ++stats_.misses;
+    // Evict until a port (and the Tx lambdas) are available.
+    auto attempt = establish(key);
+    while (!attempt && !state.lru.empty()) {
+      const Key victim = state.lru.back();
+      state.lru.pop_back();
+      const auto vit = circuits_.find(victim);
+      if (vit != circuits_.end()) {
+        fabric_.disconnect(vit->second);
+        circuits_.erase(vit);
+        ++stats_.evictions;
+      }
+      attempt = establish(key);
+    }
+    if (!attempt) return Err("cannot establish circuit: " + attempt.error().message);
+    // Port-bound eviction even when resources would allow more peers.
+    while (state.lru.size() >= params_.max_peers) {
+      const Key victim = state.lru.back();
+      state.lru.pop_back();
+      const auto vit = circuits_.find(victim);
+      if (vit != circuits_.end()) {
+        fabric_.disconnect(vit->second);
+        circuits_.erase(vit);
+        ++stats_.evictions;
+      }
+    }
+    circuits_.emplace(key, attempt.value());
+    state.lru.push_front(key);
+    const fabric::Circuit* c = fabric_.circuit(attempt.value());
+    const Duration setup =
+        fabric_.reconfig().batch_latency(c != nullptr ? c->mzis_to_program() : 1);
+    stats_.reconfig_time += setup;
+    latency += setup;
+  }
+
+  const CircuitId id = circuits_.at(key);
+  const Bandwidth rate = fabric_.circuit_bandwidth(id);
+  const Duration transfer = transfer_time(bytes, rate);
+  stats_.transfer_time += transfer;
+  latency += transfer;
+  return latency;
+}
+
+void HostStack::flush() {
+  for (const auto& [key, id] : circuits_) fabric_.disconnect(id);
+  circuits_.clear();
+  sources_.clear();
+}
+
+}  // namespace lp::core

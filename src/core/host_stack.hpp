@@ -1,0 +1,104 @@
+// Circuit-switched host networking stack.
+//
+// "Server-scale optics will necessitate the development of new host
+// networking software stacks optimized for circuit-switching as opposed to
+// today's packetized data transmission" (§1).  This module is that stack's
+// core decision: when a message needs a circuit that is not up, pay the
+// reconfiguration r; when SerDes ports are exhausted, evict someone.
+//
+// HostStack keeps an LRU cache of live circuits per source chip, bounded by
+// the tile's SerDes port count (the paper: "the number of connections that
+// can be made by one LIGHTPATH tile is limited by the number of SerDes
+// ports").  send() returns the message's latency:
+//
+//   hit:   transfer at the circuit's rate
+//   miss:  r (+ eviction teardown) + transfer
+//
+// The ablation bench compares this against per-message reconfiguration and
+// against a static ring (direct-connect emulation with multi-hop
+// forwarding), across working-set sizes and message sizes.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "lightpath/fabric.hpp"
+#include "util/result.hpp"
+#include "util/units.hpp"
+
+namespace lp::core {
+
+struct HostStackParams {
+  /// Max concurrent circuits per source chip (SerDes port bound).
+  std::uint32_t max_peers{8};
+  /// Wavelengths per cached circuit: max_peers x this must fit the tile's
+  /// 16 Tx lambdas.
+  std::uint32_t wavelengths_per_circuit{2};
+};
+
+struct HostStackStats {
+  std::uint64_t messages{0};
+  std::uint64_t hits{0};
+  std::uint64_t misses{0};
+  std::uint64_t evictions{0};
+  Duration reconfig_time{Duration::zero()};
+  Duration transfer_time{Duration::zero()};
+
+  [[nodiscard]] double hit_rate() const {
+    return messages == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(messages);
+  }
+  [[nodiscard]] Duration total_time() const { return reconfig_time + transfer_time; }
+};
+
+class HostStack {
+ public:
+  HostStack(fabric::Fabric& fab, HostStackParams params = {});
+
+  /// Sends `bytes` from `src` to `dst`, establishing (and possibly
+  /// evicting) circuits as needed.  Returns the message latency, or an
+  /// error if no circuit can be established even after eviction.
+  Result<Duration> send(fabric::GlobalTile src, fabric::GlobalTile dst, DataSize bytes);
+
+  /// Whether a live circuit src->dst exists (no side effects).
+  [[nodiscard]] bool has_circuit(fabric::GlobalTile src, fabric::GlobalTile dst) const;
+
+  /// Tears down every cached circuit.
+  void flush();
+
+  [[nodiscard]] const HostStackStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = HostStackStats{}; }
+
+ private:
+  struct Key {
+    fabric::GlobalTile src, dst;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return (static_cast<std::size_t>(k.src.wafer) << 48) ^
+             (static_cast<std::size_t>(k.src.tile) << 32) ^
+             (static_cast<std::size_t>(k.dst.wafer) << 16) ^ k.dst.tile;
+    }
+  };
+  struct SrcState {
+    /// LRU order of destination keys, most recent at front.
+    std::list<Key> lru;
+  };
+  struct SrcHash {
+    std::size_t operator()(const fabric::GlobalTile& t) const {
+      return (static_cast<std::size_t>(t.wafer) << 32) ^ t.tile;
+    }
+  };
+
+  Result<fabric::CircuitId> establish(const Key& key);
+
+  fabric::Fabric& fabric_;
+  HostStackParams params_;
+  std::unordered_map<Key, fabric::CircuitId, KeyHash> circuits_;
+  std::unordered_map<fabric::GlobalTile, SrcState, SrcHash> sources_;
+  HostStackStats stats_;
+};
+
+}  // namespace lp::core

@@ -1,0 +1,60 @@
+#include "core/photonic_rack.hpp"
+
+#include <cassert>
+
+namespace lp::core {
+
+namespace {
+
+fabric::FabricConfig make_fabric_config(const PhotonicRackConfig& config) {
+  fabric::FabricConfig fc;
+  fc.wafer = config.wafer;
+  fc.wafer_count = 2;
+  fc.modulator = config.modulator;
+  fc.reconfig = config.reconfig;
+  fc.budget = config.budget;
+  return fc;
+}
+
+}  // namespace
+
+PhotonicRack::PhotonicRack(const topo::TpuCluster& cluster, topo::RackId rack,
+                           PhotonicRackConfig config)
+    : cluster_{cluster},
+      rack_{rack},
+      config_{config},
+      fabric_{make_fabric_config(config)},
+      chips_per_wafer_{static_cast<std::int32_t>(config.wafer.rows * config.wafer.cols)} {
+  assert(cluster.chips_per_rack() <= 2 * chips_per_wafer_);
+  // Attach fiber bundles between the facing edges: wafer 0's east column to
+  // wafer 1's west column, round-robin over rows.
+  const std::int32_t rows = config.wafer.rows;
+  const std::int32_t cols = config.wafer.cols;
+  for (std::uint32_t b = 0; b < config.bundles; ++b) {
+    const std::int32_t row = static_cast<std::int32_t>(b) % rows;
+    const fabric::TileId east =
+        fabric_.wafer(0).tile_at(fabric::TileCoord{row, cols - 1});
+    const fabric::TileId west = fabric_.wafer(1).tile_at(fabric::TileCoord{row, 0});
+    fabric_.add_fiber_link(fabric::GlobalTile{0, east}, fabric::GlobalTile{1, west},
+                           config.fibers_per_bundle);
+  }
+}
+
+fabric::GlobalTile PhotonicRack::tile_of(topo::TpuId chip) const {
+  const std::int32_t local = chip - rack_ * cluster_.chips_per_rack();
+  assert(local >= 0 && local < cluster_.chips_per_rack());
+  return fabric::GlobalTile{static_cast<fabric::WaferId>(local / chips_per_wafer_),
+                            static_cast<fabric::TileId>(local % chips_per_wafer_)};
+}
+
+topo::TpuId PhotonicRack::chip_of(fabric::GlobalTile tile) const {
+  return rack_ * cluster_.chips_per_rack() +
+         static_cast<std::int32_t>(tile.wafer) * chips_per_wafer_ +
+         static_cast<std::int32_t>(tile.tile);
+}
+
+Bandwidth PhotonicRack::chip_bandwidth() const {
+  return per_wavelength_rate() * static_cast<double>(config_.wafer.tile.tx_wavelengths);
+}
+
+}  // namespace lp::core

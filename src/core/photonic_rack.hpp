@@ -1,0 +1,67 @@
+// A TPU rack re-plumbed with LIGHTPATH: the paper's target deployment.
+//
+// "Using LIGHTPATH (§3), the TPUs within a server are connected via
+// waveguides and TPUs across the server are connected with fibers" (§4).
+// A 64-chip rack maps onto two 32-tile wafers; chips 0..31 stack on wafer
+// 0 and 32..63 on wafer 1, in rack-torus index order.  Fiber bundles
+// attach the facing edge tiles of the two wafers so cross-wafer circuits
+// (and cross-rack extensions) can be switched end-to-end in the optical
+// domain.
+#pragma once
+
+#include <cstdint>
+
+#include "lightpath/fabric.hpp"
+#include "topo/cluster.hpp"
+
+namespace lp::core {
+
+struct PhotonicRackConfig {
+  fabric::WaferParams wafer{};
+  phys::ModulatorParams modulator{};
+  fabric::ReconfigParams reconfig{};
+  phys::LinkBudgetParams budget{};
+  /// Fibers per attached bundle between the two wafers.  Sized so a fully
+  /// packed rack can provision redirected rings for every tenant at once
+  /// (Slice-4-style 32-chip slices put many ring edges across the wafer
+  /// boundary).
+  std::uint32_t fibers_per_bundle{64};
+  /// Bundles along the facing wafer edges.
+  std::uint32_t bundles{8};
+};
+
+class PhotonicRack {
+ public:
+  explicit PhotonicRack(const topo::TpuCluster& cluster, topo::RackId rack,
+                        PhotonicRackConfig config = {});
+
+  [[nodiscard]] fabric::Fabric& fabric() { return fabric_; }
+  [[nodiscard]] const fabric::Fabric& fabric() const { return fabric_; }
+  [[nodiscard]] topo::RackId rack() const { return rack_; }
+  [[nodiscard]] const topo::TpuCluster& cluster() const { return cluster_; }
+
+  /// Fabric tile hosting a chip of this rack.
+  [[nodiscard]] fabric::GlobalTile tile_of(topo::TpuId chip) const;
+
+  /// Chip stacked on a fabric tile.
+  [[nodiscard]] topo::TpuId chip_of(fabric::GlobalTile tile) const;
+
+  /// Per-wavelength line rate of the interconnect.
+  [[nodiscard]] Bandwidth per_wavelength_rate() const {
+    return fabric_.per_wavelength_rate();
+  }
+
+  /// Full egress bandwidth of a chip on the photonic interconnect:
+  /// wavelengths-per-tile x line rate (the B that redirection can aim
+  /// anywhere).
+  [[nodiscard]] Bandwidth chip_bandwidth() const;
+
+ private:
+  const topo::TpuCluster& cluster_;
+  topo::RackId rack_;
+  PhotonicRackConfig config_;
+  fabric::Fabric fabric_;
+  std::int32_t chips_per_wafer_;
+};
+
+}  // namespace lp::core

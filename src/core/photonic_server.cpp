@@ -1,0 +1,88 @@
+#include "core/photonic_server.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace lp::core {
+
+PhotonicServer::PhotonicServer(std::uint32_t accelerators, fabric::FabricConfig config)
+    : accelerators_{accelerators},
+      fabric_{config},
+      by_pair_(static_cast<std::size_t>(accelerators) * accelerators) {
+  assert(accelerators_ <= fabric_.wafer(0).tile_count());
+}
+
+Result<fabric::CircuitId> PhotonicServer::connect(std::uint32_t a, std::uint32_t b,
+                                                  std::uint32_t wavelengths) {
+  if (a >= accelerators_ || b >= accelerators_)
+    return Err("accelerator index out of range");
+  auto id = fabric_.connect(tile_of(a), tile_of(b), wavelengths);
+  if (id) by_pair_[a * accelerators_ + b].push_back(id.value());
+  return id;
+}
+
+Result<std::vector<fabric::CircuitId>> PhotonicServer::provision_ring(
+    const std::vector<std::uint32_t>& order, std::uint32_t wavelengths) {
+  if (order.size() < 2) return Err("ring needs at least 2 accelerators");
+  std::vector<fabric::CircuitId> circuits;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const std::uint32_t a = order[i];
+    const std::uint32_t b = order[(i + 1) % order.size()];
+    auto id = connect(a, b, wavelengths);
+    if (!id) {
+      release(circuits);
+      return Err("ring edge " + std::to_string(a) + "->" + std::to_string(b) + ": " +
+                 id.error().message);
+    }
+    circuits.push_back(id.value());
+  }
+  return circuits;
+}
+
+void PhotonicServer::disconnect(fabric::CircuitId id) {
+  for (auto& pair : by_pair_) {
+    pair.erase(std::remove(pair.begin(), pair.end(), id), pair.end());
+  }
+  fabric_.disconnect(id);
+}
+
+void PhotonicServer::release(const std::vector<fabric::CircuitId>& circuits) {
+  for (fabric::CircuitId id : circuits) {
+    for (auto& pair : by_pair_) {
+      pair.erase(std::remove(pair.begin(), pair.end(), id), pair.end());
+    }
+    fabric_.disconnect(id);
+  }
+}
+
+Bandwidth PhotonicServer::bandwidth_between(std::uint32_t a, std::uint32_t b) const {
+  Bandwidth total = Bandwidth::zero();
+  for (fabric::CircuitId id : by_pair_[a * accelerators_ + b]) {
+    total += fabric_.circuit_bandwidth(id);
+  }
+  return total;
+}
+
+std::vector<double> PhotonicServer::bandwidth_matrix_gBps() const {
+  std::vector<double> matrix(static_cast<std::size_t>(accelerators_) * accelerators_,
+                             0.0);
+  for (std::uint32_t a = 0; a < accelerators_; ++a) {
+    for (std::uint32_t b = 0; b < accelerators_; ++b) {
+      matrix[a * accelerators_ + b] = bandwidth_between(a, b).to_gBps();
+    }
+  }
+  return matrix;
+}
+
+double PhotonicServer::tx_utilization() const {
+  std::uint64_t used = 0, total = 0;
+  for (std::uint32_t a = 0; a < accelerators_; ++a) {
+    const auto& tile = fabric_.wafer(0).tile(a);
+    used += tile.tx_used();
+    total += tile.params().tx_wavelengths;
+  }
+  return total == 0 ? 0.0 : static_cast<double>(used) / static_cast<double>(total);
+}
+
+}  // namespace lp::core

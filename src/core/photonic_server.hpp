@@ -1,0 +1,62 @@
+// PhotonicServer: the multi-accelerator server of §1, as an API.
+//
+// A thin, accelerator-indexed facade over one Fabric wafer for the common
+// single-server case (up to 32 accelerators stacked on one LIGHTPATH
+// wafer).  It exposes exactly the operations the paper's vision needs:
+// point-to-point circuits by accelerator id, whole-ring provisioning with
+// one reconfiguration charge, and a live bandwidth matrix for
+// observability.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lightpath/fabric.hpp"
+#include "util/result.hpp"
+
+namespace lp::core {
+
+class PhotonicServer {
+ public:
+  /// A server of `accelerators` chips on one wafer (<= tile count).
+  explicit PhotonicServer(std::uint32_t accelerators = 32,
+                          fabric::FabricConfig config = {});
+
+  [[nodiscard]] std::uint32_t accelerator_count() const { return accelerators_; }
+  [[nodiscard]] fabric::Fabric& fabric() { return fabric_; }
+  [[nodiscard]] const fabric::Fabric& fabric() const { return fabric_; }
+
+  /// Dedicated circuit from accelerator `a` to `b`.
+  Result<fabric::CircuitId> connect(std::uint32_t a, std::uint32_t b,
+                                    std::uint32_t wavelengths);
+  void disconnect(fabric::CircuitId id);
+
+  /// Provision a unidirectional ring over the given accelerator order with
+  /// `wavelengths` per edge.  On failure nothing stays established.
+  Result<std::vector<fabric::CircuitId>> provision_ring(
+      const std::vector<std::uint32_t>& order, std::uint32_t wavelengths);
+  void release(const std::vector<fabric::CircuitId>& circuits);
+
+  /// Live bandwidth from `a` to `b` summed over established circuits.
+  [[nodiscard]] Bandwidth bandwidth_between(std::uint32_t a, std::uint32_t b) const;
+
+  /// accelerators x accelerators matrix of live circuit bandwidth (GB/s
+  /// from row to column); the fabric-level view of "who can talk at what
+  /// rate right now".
+  [[nodiscard]] std::vector<double> bandwidth_matrix_gBps() const;
+
+  /// Fraction of all tile Tx wavelengths currently committed.
+  [[nodiscard]] double tx_utilization() const;
+
+ private:
+  [[nodiscard]] fabric::GlobalTile tile_of(std::uint32_t accelerator) const {
+    return fabric::GlobalTile{0, accelerator};
+  }
+
+  std::uint32_t accelerators_;
+  fabric::Fabric fabric_;
+  /// Live circuits per (src, dst) pair, for the bandwidth queries.
+  std::vector<std::vector<fabric::CircuitId>> by_pair_;
+};
+
+}  // namespace lp::core

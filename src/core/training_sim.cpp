@@ -1,0 +1,49 @@
+#include "core/training_sim.hpp"
+
+#include <algorithm>
+
+namespace lp::core {
+
+IterationReport simulate_training_iteration(const topo::Slice& slice,
+                                            const topo::Shape& rack_shape,
+                                            const TrainingConfig& config,
+                                            coll::Interconnect interconnect,
+                                            const coll::CostParams& params,
+                                            coll::RedirectStrategy strategy) {
+  IterationReport report;
+  const auto plan = coll::build_plan(slice, rack_shape);
+
+  // Per-bucket AllReduce cost.  With static-split optics the redirected
+  // circuits persist across buckets, so only the first bucket pays the
+  // reconfigurations.
+  const auto first_cost = coll::all_reduce_cost(plan, config.bucket_bytes, interconnect,
+                                                params, strategy);
+  auto steady_cost = first_cost;
+  if (interconnect == coll::Interconnect::kOptical &&
+      strategy == coll::RedirectStrategy::kStaticSplit) {
+    steady_cost.reconfigs = 0;
+  }
+
+  report.compute_time =
+      config.compute_per_bucket * static_cast<double>(config.buckets);
+
+  Duration comm_free = Duration::zero();
+  Duration comm_end = Duration::zero();
+  for (std::uint32_t b = 0; b < config.buckets; ++b) {
+    const Duration compute_done =
+        config.compute_per_bucket * static_cast<double>(b + 1);
+    const auto& cost = b == 0 ? first_cost : steady_cost;
+    const Duration duration = cost.total(params);
+    const Duration start = std::max(compute_done, comm_free);
+    comm_end = start + duration;
+    comm_free = comm_end;
+    report.comm_time += duration;
+  }
+
+  report.iteration = std::max(report.compute_time, comm_end);
+  report.exposed_comm = report.iteration - report.compute_time;
+  if (report.exposed_comm < Duration::zero()) report.exposed_comm = Duration::zero();
+  return report;
+}
+
+}  // namespace lp::core

@@ -1,0 +1,55 @@
+// Distributed-training iteration simulator.
+//
+// The paper's motivation (§2): "accelerators remain idle during training
+// for large fractions of the time waiting for inter-accelerator
+// communication to complete".  This module quantifies that idle fraction
+// for a data-parallel training step on a slice: the backward pass produces
+// per-bucket gradients that are AllReduced while later buckets are still
+// computing; whatever communication does not overlap is exposed and stalls
+// the step.
+//
+// Model: buckets finish compute back to back (compute_per_bucket each).
+// One collective channel: bucket i's AllReduce starts at
+// max(compute_done_i, previous collective's end) and runs for its cost
+// under the chosen interconnect.  Exposed communication is the tail beyond
+// the last bucket's compute.
+#pragma once
+
+#include <cstdint>
+
+#include "collective/cost_model.hpp"
+#include "topo/slice.hpp"
+#include "util/units.hpp"
+
+namespace lp::core {
+
+struct TrainingConfig {
+  /// Gradient buckets per iteration (DDP-style bucketing).
+  std::uint32_t buckets{16};
+  /// Gradient bytes per bucket.
+  DataSize bucket_bytes{DataSize::mib(64)};
+  /// Backward-pass compute time per bucket.
+  Duration compute_per_bucket{Duration::millis(2.0)};
+};
+
+struct IterationReport {
+  Duration compute_time{Duration::zero()};
+  Duration comm_time{Duration::zero()};      ///< sum of all collective costs
+  Duration exposed_comm{Duration::zero()};   ///< comm not hidden by compute
+  Duration iteration{Duration::zero()};      ///< wall-clock of the step
+  /// Fraction of the iteration the accelerators sit idle on communication.
+  [[nodiscard]] double idle_fraction() const {
+    return iteration.to_seconds() == 0.0
+               ? 0.0
+               : exposed_comm.to_seconds() / iteration.to_seconds();
+  }
+};
+
+/// Simulates one training iteration of the slice on the given interconnect.
+[[nodiscard]] IterationReport simulate_training_iteration(
+    const topo::Slice& slice, const topo::Shape& rack_shape,
+    const TrainingConfig& config, coll::Interconnect interconnect,
+    const coll::CostParams& params,
+    coll::RedirectStrategy strategy = coll::RedirectStrategy::kStaticSplit);
+
+}  // namespace lp::core

@@ -1,0 +1,54 @@
+#include "lightpath/circuit.hpp"
+
+namespace lp::fabric {
+
+std::size_t Circuit::waveguide_hop_count() const {
+  std::size_t hops = 0;
+  for (const auto& seg : segments) hops += seg.hops.size();
+  return hops;
+}
+
+unsigned Circuit::turn_count() const {
+  unsigned turns = 0;
+  for (const auto& seg : segments) {
+    for (std::size_t i = 1; i < seg.hops.size(); ++i) {
+      if (seg.hops[i] != seg.hops[i - 1]) ++turns;
+    }
+  }
+  return turns;
+}
+
+unsigned Circuit::mzis_to_program() const {
+  unsigned mzis = 0;
+  for (const auto& seg : segments) {
+    if (seg.hops.empty()) continue;
+    // Every tile the segment touches programs the switch facing the light:
+    // hops+1 tiles per segment.
+    mzis += static_cast<unsigned>(seg.hops.size()) + 1;
+  }
+  return mzis + turn_count();
+}
+
+Bandwidth Circuit::bandwidth(Bandwidth per_wavelength) const {
+  return per_wavelength * static_cast<double>(wavelengths);
+}
+
+phys::CircuitProfile profile_of(const Circuit& circuit, const TileParams& tile) {
+  phys::CircuitProfile p;
+  const auto hops = circuit.waveguide_hop_count();
+  p.waveguide_length = tile.pitch * static_cast<double>(hops);
+  p.stitches = static_cast<unsigned>(hops);
+  const unsigned turns = circuit.turn_count();
+  unsigned pass_throughs = 0;
+  for (const auto& seg : circuit.segments) {
+    if (seg.hops.size() >= 2)
+      pass_throughs += static_cast<unsigned>(seg.hops.size()) - 1;
+  }
+  p.crossings = pass_throughs + turns;
+  p.mzi_traversals = circuit.mzis_to_program();
+  p.fiber_hops = circuit.fiber_hops;
+  p.fiber_length = circuit.fiber_length;
+  return p;
+}
+
+}  // namespace lp::fabric

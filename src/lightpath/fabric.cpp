@@ -1,0 +1,218 @@
+#include "lightpath/fabric.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace lp::fabric {
+
+Fabric::Fabric(FabricConfig config)
+    : config_{config},
+      wafers_(config.wafer_count, Wafer{config.wafer}),
+      reconfig_{config.reconfig} {}
+
+std::size_t Fabric::add_fiber_link(GlobalTile a, GlobalTile b, std::uint32_t fibers,
+                                   Length length) {
+  fiber_links_.push_back(FiberLink{.a = a, .b = b, .fibers = fibers, .used = 0,
+                                   .length = length});
+  return fiber_links_.size() - 1;
+}
+
+Bandwidth Fabric::per_wavelength_rate() const {
+  return phys::Modulator{config_.modulator}.line_rate();
+}
+
+std::vector<Direction> Fabric::xy_route(const Wafer& wafer, TileId from, TileId to) {
+  std::vector<Direction> hops;
+  TileCoord c = wafer.coord_of(from);
+  const TileCoord goal = wafer.coord_of(to);
+  while (c.col != goal.col) {
+    hops.push_back(c.col < goal.col ? Direction::kEast : Direction::kWest);
+    c.col += c.col < goal.col ? 1 : -1;
+  }
+  while (c.row != goal.row) {
+    hops.push_back(c.row < goal.row ? Direction::kSouth : Direction::kNorth);
+    c.row += c.row < goal.row ? 1 : -1;
+  }
+  return hops;
+}
+
+Result<CircuitId> Fabric::connect(GlobalTile a, GlobalTile b, std::uint32_t wavelengths) {
+  if (wavelengths == 0) return Err("zero wavelengths requested");
+  if (a.wafer >= wafers_.size() || b.wafer >= wafers_.size())
+    return Err("wafer id out of range");
+  if (a == b) return Err("source and destination tile are the same");
+  if (a.wafer == b.wafer) return connect_same_wafer(a, b, wavelengths);
+  return connect_cross_wafer(a, b, wavelengths);
+}
+
+Result<CircuitId> Fabric::connect_same_wafer(GlobalTile a, GlobalTile b,
+                                             std::uint32_t wavelengths) {
+  Wafer& w = wafers_[a.wafer];
+  if (!w.tile(a.tile).reserve_tx(wavelengths))
+    return Err("tile " + std::to_string(a.tile) + ": not enough free Tx wavelengths");
+  if (!w.tile(b.tile).reserve_rx(wavelengths)) {
+    w.tile(a.tile).release_tx(wavelengths);
+    return Err("tile " + std::to_string(b.tile) + ": not enough free Rx wavelengths");
+  }
+  auto hops = xy_route(w, a.tile, b.tile);
+  if (auto reserved = w.reserve_path(a.tile, hops, wavelengths); !reserved) {
+    w.tile(a.tile).release_tx(wavelengths);
+    w.tile(b.tile).release_rx(wavelengths);
+    return Err("lane reservation failed: " + reserved.error().message);
+  }
+
+  Circuit c;
+  c.src = a;
+  c.dst = b;
+  c.wavelengths = wavelengths;
+  c.segments.push_back(Circuit::Segment{a.wafer, a.tile, std::move(hops)});
+  reconfig_.reconfigure(c.mzis_to_program());
+  return register_circuit(std::move(c));
+}
+
+Result<CircuitId> Fabric::connect_via(GlobalTile a, GlobalTile b,
+                                      std::vector<Direction> hops,
+                                      std::uint32_t wavelengths) {
+  if (wavelengths == 0) return Err("zero wavelengths requested");
+  if (a.wafer != b.wafer) return Err("connect_via requires a same-wafer path");
+  if (a.wafer >= wafers_.size()) return Err("wafer id out of range");
+  Wafer& w = wafers_[a.wafer];
+  // Validate the path endpoint.
+  TileId at = a.tile;
+  for (Direction d : hops) {
+    const auto next = w.neighbor(at, d);
+    if (!next) return Err("path leaves the wafer");
+    at = *next;
+  }
+  if (at != b.tile) return Err("path does not end at the destination tile");
+
+  if (!w.tile(a.tile).reserve_tx(wavelengths))
+    return Err("tile " + std::to_string(a.tile) + ": not enough free Tx wavelengths");
+  if (!w.tile(b.tile).reserve_rx(wavelengths)) {
+    w.tile(a.tile).release_tx(wavelengths);
+    return Err("tile " + std::to_string(b.tile) + ": not enough free Rx wavelengths");
+  }
+  if (auto reserved = w.reserve_path(a.tile, hops, wavelengths); !reserved) {
+    w.tile(a.tile).release_tx(wavelengths);
+    w.tile(b.tile).release_rx(wavelengths);
+    return Err("lane reservation failed: " + reserved.error().message);
+  }
+
+  Circuit c;
+  c.src = a;
+  c.dst = b;
+  c.wavelengths = wavelengths;
+  c.segments.push_back(Circuit::Segment{a.wafer, a.tile, std::move(hops)});
+  reconfig_.reconfigure(c.mzis_to_program());
+  return register_circuit(std::move(c));
+}
+
+std::optional<Fabric::FiberChoice> Fabric::find_fiber(WaferId from, WaferId to,
+                                                      std::uint32_t fibers) const {
+  for (std::size_t i = 0; i < fiber_links_.size(); ++i) {
+    const FiberLink& link = fiber_links_[i];
+    if (link.fibers - link.used < fibers) continue;
+    if (link.a.wafer == from && link.b.wafer == to) return FiberChoice{i, true};
+    if (link.b.wafer == from && link.a.wafer == to) return FiberChoice{i, false};
+  }
+  return std::nullopt;
+}
+
+Result<CircuitId> Fabric::connect_cross_wafer(GlobalTile a, GlobalTile b,
+                                              std::uint32_t wavelengths) {
+  // Each wavelength rides its own fiber in the bundle (no WDM mux across the
+  // attach in this model, mirroring one-laser-one-fiber attach).
+  const auto choice = find_fiber(a.wafer, b.wafer, wavelengths);
+  if (!choice)
+    return Err("no fiber link with " + std::to_string(wavelengths) +
+               " spare fibers between wafers " + std::to_string(a.wafer) + " and " +
+               std::to_string(b.wafer));
+  FiberLink& link = fiber_links_[choice->link_index];
+  const GlobalTile exit = choice->forward ? link.a : link.b;
+  const GlobalTile entry = choice->forward ? link.b : link.a;
+
+  Wafer& wa = wafers_[a.wafer];
+  Wafer& wb = wafers_[b.wafer];
+  if (!wa.tile(a.tile).reserve_tx(wavelengths))
+    return Err("source tile: not enough free Tx wavelengths");
+  if (!wb.tile(b.tile).reserve_rx(wavelengths)) {
+    wa.tile(a.tile).release_tx(wavelengths);
+    return Err("destination tile: not enough free Rx wavelengths");
+  }
+
+  auto hops_a = xy_route(wa, a.tile, exit.tile);
+  auto hops_b = xy_route(wb, entry.tile, b.tile);
+  if (auto r = wa.reserve_path(a.tile, hops_a, wavelengths); !r) {
+    wa.tile(a.tile).release_tx(wavelengths);
+    wb.tile(b.tile).release_rx(wavelengths);
+    return Err("source wafer lanes: " + r.error().message);
+  }
+  if (auto r = wb.reserve_path(entry.tile, hops_b, wavelengths); !r) {
+    wa.release_path(a.tile, hops_a, wavelengths);
+    wa.tile(a.tile).release_tx(wavelengths);
+    wb.tile(b.tile).release_rx(wavelengths);
+    return Err("destination wafer lanes: " + r.error().message);
+  }
+  link.used += wavelengths;
+
+  Circuit c;
+  c.src = a;
+  c.dst = b;
+  c.wavelengths = wavelengths;
+  c.segments.push_back(Circuit::Segment{a.wafer, a.tile, std::move(hops_a)});
+  c.segments.push_back(Circuit::Segment{b.wafer, entry.tile, std::move(hops_b)});
+  c.fiber_hops = 1;
+  c.fiber_length = link.length;
+  reconfig_.reconfigure(c.mzis_to_program());
+
+  const CircuitId id = register_circuit(std::move(c));
+  circuit_fiber_[id] = choice->link_index;
+  return id;
+}
+
+CircuitId Fabric::register_circuit(Circuit&& circuit) {
+  const CircuitId id = next_id_++;
+  circuit.id = id;
+  circuits_.emplace(id, std::move(circuit));
+  return id;
+}
+
+void Fabric::disconnect(CircuitId id) {
+  const auto it = circuits_.find(id);
+  if (it == circuits_.end()) return;
+  const Circuit& c = it->second;
+  for (const auto& seg : c.segments) {
+    wafers_[seg.wafer].release_path(seg.from, seg.hops, c.wavelengths);
+  }
+  wafers_[c.src.wafer].tile(c.src.tile).release_tx(c.wavelengths);
+  wafers_[c.dst.wafer].tile(c.dst.tile).release_rx(c.wavelengths);
+  if (const auto fit = circuit_fiber_.find(id); fit != circuit_fiber_.end()) {
+    FiberLink& link = fiber_links_[fit->second];
+    link.used -= std::min(link.used, c.wavelengths);
+    circuit_fiber_.erase(fit);
+  }
+  // Tearing down also programs switches (back to a parked state).
+  reconfig_.reconfigure(c.mzis_to_program());
+  circuits_.erase(it);
+}
+
+const Circuit* Fabric::circuit(CircuitId id) const {
+  const auto it = circuits_.find(id);
+  return it == circuits_.end() ? nullptr : &it->second;
+}
+
+Bandwidth Fabric::circuit_bandwidth(CircuitId id) const {
+  const Circuit* c = circuit(id);
+  if (c == nullptr) return Bandwidth::zero();
+  return c->bandwidth(per_wavelength_rate());
+}
+
+phys::LinkBudgetReport Fabric::circuit_budget(CircuitId id) const {
+  const Circuit* c = circuit(id);
+  assert(c != nullptr);
+  const phys::LinkBudget budget{config_.budget};
+  return budget.evaluate(profile_of(*c, config_.wafer.tile));
+}
+
+}  // namespace lp::fabric

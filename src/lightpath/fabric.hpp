@@ -1,0 +1,129 @@
+// LightpathFabric: the public API of the photonic interconnect.
+//
+// A Fabric is one or more wafers (32 tiles each) plus attached fibers
+// between wafers (paper §3, "Fiber connectivity between LIGHTPATH wafers").
+// Chips stack one-per-tile; the fabric's job is to establish dedicated,
+// contention-free optical circuits between chips on demand:
+//
+//   Fabric fabric{config};
+//   auto c = fabric.connect({0, tileA}, {0, tileB}, /*wavelengths=*/4);
+//   // ... traffic flows at 4 x 224 Gbps with zero intermediate contention
+//   fabric.disconnect(c.value());
+//
+// connect() uses deterministic dimension-ordered (XY) routing on the tile
+// grid and first-fit fiber selection across wafers; smarter planners (path
+// diversity, non-overlapping demand sets, decentralized setup, fault
+// repair) live in the routing/ module and operate on the same Wafer
+// resource ledger via reserve_path()/release_path().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "lightpath/circuit.hpp"
+#include "lightpath/reconfig.hpp"
+#include "lightpath/types.hpp"
+#include "lightpath/wafer.hpp"
+#include "phys/link_budget.hpp"
+#include "phys/modulator.hpp"
+#include "util/result.hpp"
+
+namespace lp::fabric {
+
+struct FabricConfig {
+  WaferParams wafer{};
+  std::uint32_t wafer_count{1};
+  phys::ModulatorParams modulator{};
+  ReconfigParams reconfig{};
+  phys::LinkBudgetParams budget{};
+};
+
+/// A bundle of fibers attaching one tile of one wafer to a tile of another.
+struct FiberLink {
+  GlobalTile a{};
+  GlobalTile b{};
+  std::uint32_t fibers{16};
+  std::uint32_t used{0};
+  Length length{Length::meters(2.0)};
+};
+
+class Fabric {
+ public:
+  explicit Fabric(FabricConfig config = {});
+
+  [[nodiscard]] const FabricConfig& config() const { return config_; }
+  [[nodiscard]] std::uint32_t wafer_count() const {
+    return static_cast<std::uint32_t>(wafers_.size());
+  }
+  [[nodiscard]] Wafer& wafer(WaferId w) { return wafers_[w]; }
+  [[nodiscard]] const Wafer& wafer(WaferId w) const { return wafers_[w]; }
+
+  /// Declare a fiber bundle between two wafer-edge tiles.  Returns its index.
+  std::size_t add_fiber_link(GlobalTile a, GlobalTile b, std::uint32_t fibers,
+                             Length length = Length::meters(2.0));
+  [[nodiscard]] const std::vector<FiberLink>& fiber_links() const { return fiber_links_; }
+
+  /// Data rate of a single modulated wavelength (224 Gbps by default).
+  [[nodiscard]] Bandwidth per_wavelength_rate() const;
+
+  /// Establish a circuit carrying `wavelengths` lambdas from chip at `a` to
+  /// chip at `b`.  Reserves Tx at a, Rx at b, lanes along the path, and
+  /// (cross-wafer) one fiber per wavelength.  Accounts reconfiguration time
+  /// in the controller.  Fails without side effects if any resource is
+  /// unavailable.
+  Result<CircuitId> connect(GlobalTile a, GlobalTile b, std::uint32_t wavelengths);
+
+  /// Like connect(), but along an explicit same-wafer hop path (produced by
+  /// an external router).  The path must lead from a.tile to b.tile.
+  Result<CircuitId> connect_via(GlobalTile a, GlobalTile b,
+                                std::vector<Direction> hops, std::uint32_t wavelengths);
+
+  /// Tear down a circuit and release all its resources.  Idempotent.
+  void disconnect(CircuitId id);
+
+  [[nodiscard]] const Circuit* circuit(CircuitId id) const;
+  [[nodiscard]] std::size_t active_circuits() const { return circuits_.size(); }
+
+  /// Capacity of an established circuit.
+  [[nodiscard]] Bandwidth circuit_bandwidth(CircuitId id) const;
+
+  /// Physical-layer verdict for an established circuit.
+  [[nodiscard]] phys::LinkBudgetReport circuit_budget(CircuitId id) const;
+
+  /// Dimension-ordered route on one wafer: all column moves then row moves.
+  [[nodiscard]] static std::vector<Direction> xy_route(const Wafer& wafer, TileId from,
+                                                       TileId to);
+
+  [[nodiscard]] ReconfigController& reconfig() { return reconfig_; }
+  [[nodiscard]] const ReconfigController& reconfig() const { return reconfig_; }
+
+ private:
+  struct FiberChoice {
+    std::size_t link_index;
+    bool forward;  ///< true if routing a->b along the stored link
+  };
+
+  /// First fiber link between the two wafers with >= `fibers` spare.
+  [[nodiscard]] std::optional<FiberChoice> find_fiber(WaferId from, WaferId to,
+                                                      std::uint32_t fibers) const;
+
+  Result<CircuitId> connect_same_wafer(GlobalTile a, GlobalTile b,
+                                       std::uint32_t wavelengths);
+  Result<CircuitId> connect_cross_wafer(GlobalTile a, GlobalTile b,
+                                        std::uint32_t wavelengths);
+
+  CircuitId register_circuit(Circuit&& circuit);
+
+  FabricConfig config_;
+  std::vector<Wafer> wafers_;
+  std::vector<FiberLink> fiber_links_;
+  std::unordered_map<CircuitId, Circuit> circuits_;
+  std::unordered_map<CircuitId, std::size_t> circuit_fiber_;  ///< circuit -> fiber link index
+  ReconfigController reconfig_;
+  CircuitId next_id_{1};
+};
+
+}  // namespace lp::fabric

@@ -1,0 +1,25 @@
+#include "lightpath/tile.hpp"
+
+#include <algorithm>
+
+namespace lp::fabric {
+
+Tile::Tile(TileParams params) : params_{params} {}
+
+bool Tile::reserve_tx(std::uint32_t n) {
+  if (tx_free() < n) return false;
+  tx_used_ += n;
+  return true;
+}
+
+bool Tile::reserve_rx(std::uint32_t n) {
+  if (rx_free() < n) return false;
+  rx_used_ += n;
+  return true;
+}
+
+void Tile::release_tx(std::uint32_t n) { tx_used_ -= std::min(n, tx_used_); }
+
+void Tile::release_rx(std::uint32_t n) { rx_used_ -= std::min(n, rx_used_); }
+
+}  // namespace lp::fabric

@@ -1,0 +1,75 @@
+// One LIGHTPATH tile: the Tx/Rx block and its four 1x3 MZI switches.
+//
+// Per the paper (§3, Figure 2): each tile has 16 wavelength-multiplexed
+// lasers and photodiodes in a central Tx/Rx block, four optical switches of
+// degree 1x3 (one per mesh direction, each connecting the inter-tile
+// waveguide to the three other switches on the tile), and a SerDes whose
+// port count bounds how many distinct neighbors the stacked chip can talk
+// to at once.  Figure 4: waveguides and MZIs sit on a 3 um pitch, allowing
+// >10,000 waveguides to enter a tile.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "lightpath/types.hpp"
+#include "phys/mzi.hpp"
+#include "util/units.hpp"
+
+namespace lp::fabric {
+
+struct TileParams {
+  /// Wavelength-multiplexed lasers (= transmit channels) per tile.
+  std::uint32_t tx_wavelengths{16};
+  /// Photodiode receive channels per tile.
+  std::uint32_t rx_wavelengths{16};
+  /// SerDes ports: max concurrent distinct peers for the stacked chip.
+  std::uint32_t serdes_ports{8};
+  /// Physical tile pitch (the 200 mm x 200 mm prototype carries a 4x8 grid).
+  Length pitch{Length::millimeters(25.0)};
+  /// Waveguide / MZI pitch (paper: 3 um).
+  Length waveguide_pitch{Length::microns(3.0)};
+};
+
+/// Pure-geometry helper: how many waveguide lanes fit across one tile edge
+/// at the configured pitch.  ~8,333 per 25 mm edge side; the paper quotes
+/// "over 10,000 per tile" counting both axes.
+[[nodiscard]] constexpr std::uint32_t waveguides_per_edge(const TileParams& p) {
+  return static_cast<std::uint32_t>(p.pitch.to_meters() / p.waveguide_pitch.to_meters());
+}
+
+/// Tracks consumable resources of one tile.  Lane occupancy lives on the
+/// wafer's edges; this covers the per-tile endpoint resources.
+class Tile {
+ public:
+  explicit Tile(TileParams params = {});
+
+  [[nodiscard]] const TileParams& params() const { return params_; }
+
+  [[nodiscard]] std::uint32_t tx_free() const { return params_.tx_wavelengths - tx_used_; }
+  [[nodiscard]] std::uint32_t rx_free() const { return params_.rx_wavelengths - rx_used_; }
+  [[nodiscard]] std::uint32_t tx_used() const { return tx_used_; }
+  [[nodiscard]] std::uint32_t rx_used() const { return rx_used_; }
+
+  /// Reserve `n` transmit wavelengths; false (and no change) if unavailable.
+  bool reserve_tx(std::uint32_t n);
+  /// Reserve `n` receive wavelengths; false (and no change) if unavailable.
+  bool reserve_rx(std::uint32_t n);
+  void release_tx(std::uint32_t n);
+  void release_rx(std::uint32_t n);
+
+  /// The tile's four 1x3 switches, indexed by Direction.
+  [[nodiscard]] phys::Mzi& mzi(Direction d) { return switches_[static_cast<std::size_t>(d)]; }
+  [[nodiscard]] const phys::Mzi& mzi(Direction d) const {
+    return switches_[static_cast<std::size_t>(d)];
+  }
+
+ private:
+  TileParams params_;
+  std::uint32_t tx_used_{0};
+  std::uint32_t rx_used_{0};
+  std::array<phys::Mzi, 4> switches_{phys::Mzi{}, phys::Mzi{}, phys::Mzi{},
+                                     phys::Mzi{}};
+};
+
+}  // namespace lp::fabric

@@ -1,0 +1,61 @@
+// Basic identifiers and geometry for the LIGHTPATH fabric model.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace lp::fabric {
+
+/// Index of a tile within one wafer (row-major).
+using TileId = std::uint32_t;
+
+/// Index of a wafer within a multi-wafer fabric.
+using WaferId = std::uint32_t;
+
+/// Opaque handle to an established optical circuit.
+using CircuitId = std::uint64_t;
+
+/// Grid position of a tile on a wafer.
+struct TileCoord {
+  std::int32_t row{0};
+  std::int32_t col{0};
+  friend constexpr auto operator<=>(const TileCoord&, const TileCoord&) = default;
+};
+
+/// The four mesh directions; each maps to one of a tile's 1x3 MZI switches.
+enum class Direction : std::uint8_t { kNorth = 0, kEast = 1, kSouth = 2, kWest = 3 };
+
+inline constexpr std::array<Direction, 4> kAllDirections{
+    Direction::kNorth, Direction::kEast, Direction::kSouth, Direction::kWest};
+
+[[nodiscard]] constexpr Direction opposite(Direction d) {
+  switch (d) {
+    case Direction::kNorth: return Direction::kSouth;
+    case Direction::kEast: return Direction::kWest;
+    case Direction::kSouth: return Direction::kNorth;
+    case Direction::kWest: return Direction::kEast;
+  }
+  return Direction::kNorth;
+}
+
+[[nodiscard]] constexpr const char* to_string(Direction d) {
+  switch (d) {
+    case Direction::kNorth: return "N";
+    case Direction::kEast: return "E";
+    case Direction::kSouth: return "S";
+    case Direction::kWest: return "W";
+  }
+  return "?";
+}
+
+/// A tile on a specific wafer of a multi-wafer fabric.
+struct GlobalTile {
+  WaferId wafer{0};
+  TileId tile{0};
+  friend constexpr auto operator<=>(const GlobalTile&, const GlobalTile&) = default;
+};
+
+}  // namespace lp::fabric

@@ -1,0 +1,35 @@
+#include "phys/crosstalk.hpp"
+
+#include <cmath>
+
+namespace lp::phys {
+
+CrosstalkModel::CrosstalkModel(CrosstalkParams params) : params_{params} {}
+
+double CrosstalkModel::aggregate_ratio(unsigned mzi_traversals) const {
+  const double per_mzi = std::pow(10.0, -params_.extinction.value() / 10.0);
+  return static_cast<double>(mzi_traversals) * per_mzi;
+}
+
+Decibel CrosstalkModel::incoherent_penalty(unsigned mzi_traversals) const {
+  const double eps = aggregate_ratio(mzi_traversals);
+  if (eps >= 1.0) return Decibel::db(1e9);
+  return Decibel::db(-10.0 * std::log10(1.0 - eps));
+}
+
+Decibel CrosstalkModel::coherent_penalty(unsigned mzi_traversals) const {
+  const double eps = aggregate_ratio(mzi_traversals);
+  const double arg = 1.0 - 2.0 * std::sqrt(eps);
+  if (arg <= 0.0) return Decibel::db(1e9);
+  return Decibel::db(-10.0 * std::log10(arg));
+}
+
+unsigned CrosstalkModel::max_traversals(Decibel budget) const {
+  // Invert the incoherent penalty: eps_max = 1 - 10^(-budget/10).
+  const double eps_max = 1.0 - std::pow(10.0, -budget.value() / 10.0);
+  const double per_mzi = std::pow(10.0, -params_.extinction.value() / 10.0);
+  if (per_mzi <= 0.0) return ~0u;
+  return static_cast<unsigned>(eps_max / per_mzi);
+}
+
+}  // namespace lp::phys

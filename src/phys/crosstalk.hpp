@@ -1,0 +1,50 @@
+// Switch crosstalk accumulation and its power penalty.
+//
+// Every MZI a circuit traverses leaks a little light between the selected
+// and unselected ports (finite extinction ratio).  Light from *other*
+// circuits leaks in the same way, so a long path through k switches
+// accumulates interferer power eps_total ~= k * 10^(-X/10) relative to the
+// signal.  The receiver pays a power penalty for it:
+//
+//   incoherent (default): leaked paths have different lengths, so fields
+//     add in power:  PP = -10 log10(1 - eps_total)
+//   coherent (worst case): fields beat against the signal:
+//     PP = -10 log10(1 - 2 sqrt(eps_total))
+//
+// The link budget charges the incoherent penalty; the coherent figure is
+// exposed for margin analysis.  Both are standard first-order expressions.
+#pragma once
+
+#include "util/units.hpp"
+
+namespace lp::phys {
+
+struct CrosstalkParams {
+  /// Per-MZI extinction ratio (positive dB suppression of the leak).
+  Decibel extinction{Decibel::db(25.0)};
+};
+
+class CrosstalkModel {
+ public:
+  explicit CrosstalkModel(CrosstalkParams params = {});
+
+  [[nodiscard]] const CrosstalkParams& params() const { return params_; }
+
+  /// Aggregate interferer-to-signal power ratio after `mzi_traversals`.
+  [[nodiscard]] double aggregate_ratio(unsigned mzi_traversals) const;
+
+  /// Incoherent crosstalk power penalty (charged to the budget).
+  [[nodiscard]] Decibel incoherent_penalty(unsigned mzi_traversals) const;
+
+  /// Coherent worst-case penalty (margin analysis only).  Returns a very
+  /// large penalty once the closed form breaks down (eps too large).
+  [[nodiscard]] Decibel coherent_penalty(unsigned mzi_traversals) const;
+
+  /// Max MZI traversals keeping the incoherent penalty under `budget_db`.
+  [[nodiscard]] unsigned max_traversals(Decibel budget) const;
+
+ private:
+  CrosstalkParams params_;
+};
+
+}  // namespace lp::phys

@@ -1,0 +1,60 @@
+#include "phys/link_budget.hpp"
+
+namespace lp::phys {
+
+LinkBudget::LinkBudget(LinkBudgetParams params)
+    : params_{params},
+      modulator_{params.modulator},
+      photodetector_{params.photodetector},
+      loss_{params.loss},
+      crosstalk_{params.crosstalk} {}
+
+Decibel LinkBudget::path_loss(const CircuitProfile& profile) const {
+  Decibel total = loss_.propagation(profile.waveguide_length);
+  total += loss_.crossings(profile.crossings);
+  total += loss_.stitches_mean(profile.stitches);
+  total += params_.mzi.insertion_loss * static_cast<double>(profile.mzi_traversals);
+  total += loss_.couplers(2);  // chip->guide at Tx, guide->PD at Rx
+  for (unsigned i = 0; i < profile.fiber_hops; ++i) {
+    total += loss_.fiber_hop(profile.fiber_length / std::max(1.0, double(profile.fiber_hops)));
+  }
+  return total;
+}
+
+Decibel LinkBudget::sampled_path_loss(const CircuitProfile& profile, Rng& rng) const {
+  Decibel total = path_loss(profile);
+  // Replace the mean stitch contribution with sampled draws.
+  total += Decibel::db(-loss_.stitches_mean(profile.stitches).value());
+  for (unsigned i = 0; i < profile.stitches; ++i) total += loss_.sample_stitch(rng);
+  return total;
+}
+
+LinkBudgetReport LinkBudget::evaluate(const CircuitProfile& profile) const {
+  return evaluate_at_loss(path_loss(profile), profile.mzi_traversals);
+}
+
+LinkBudgetReport LinkBudget::evaluate_at_loss(Decibel total_path_loss,
+                                              unsigned mzi_traversals) const {
+  LinkBudgetReport report;
+  report.crosstalk_penalty = crosstalk_.incoherent_penalty(mzi_traversals);
+  report.total_loss =
+      total_path_loss + modulator_.total_penalty() + report.crosstalk_penalty;
+  report.received = params_.launch.attenuated_by(report.total_loss);
+  const auto code = params_.modulator.line_code;
+  const double baud = params_.modulator.baud_rate;
+  report.q_factor = photodetector_.q_factor(report.received, code, baud);
+  report.pre_fec_ber = photodetector_.bit_error_rate(report.received, code, baud);
+  report.line_rate = modulator_.line_rate();
+  report.closes = report.pre_fec_ber <= params_.fec_ber_threshold;
+  const Power floor = sensitivity();
+  report.margin = Decibel::db(report.received.to_dbm() - floor.to_dbm());
+  return report;
+}
+
+Power LinkBudget::sensitivity() const {
+  return photodetector_.sensitivity(params_.fec_ber_threshold,
+                                    params_.modulator.line_code,
+                                    params_.modulator.baud_rate);
+}
+
+}  // namespace lp::phys

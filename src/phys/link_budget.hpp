@@ -1,0 +1,94 @@
+// End-to-end optical link budget for a chip-to-chip circuit.
+//
+// Composes: laser launch power, modulator penalties, propagation over the
+// circuit's waveguide length, crossings, reticle stitches, MZI traversals,
+// optional fiber hops, and receiver couplers -> received power -> BER via
+// the photodetector model -> pass/fail against a FEC threshold.
+//
+// This is the machinery behind the paper's feasibility claim in §3
+// ("low-loss (0.25 dB) optical crossings enable routing within the same
+// active silicon device layer"): the bench sweeps circuit lengths across
+// the 32-tile wafer and shows the budget closes at 224 Gbps.
+#pragma once
+
+#include <cstdint>
+
+#include "phys/crosstalk.hpp"
+#include "phys/loss.hpp"
+#include "phys/modulator.hpp"
+#include "phys/mzi.hpp"
+#include "phys/photodetector.hpp"
+#include "util/units.hpp"
+
+namespace lp::phys {
+
+/// Hop-count description of one optical circuit, produced by the routing
+/// layer and consumed here.
+struct CircuitProfile {
+  Length waveguide_length{Length::zero()};
+  unsigned crossings{0};
+  unsigned stitches{0};
+  unsigned mzi_traversals{0};
+  unsigned fiber_hops{0};
+  Length fiber_length{Length::zero()};
+};
+
+struct LinkBudgetParams {
+  /// Per-wavelength laser launch power.
+  Power launch{Power::dbm(12.0)};
+  /// Pre-FEC BER that the SerDes' KP4-class FEC can correct.
+  double fec_ber_threshold{2.4e-4};
+  ModulatorParams modulator{};
+  PhotodetectorParams photodetector{};
+  MziParams mzi{};
+  LossParams loss{};
+  CrosstalkParams crosstalk{};
+};
+
+/// Result of evaluating one circuit against the budget.
+struct LinkBudgetReport {
+  Decibel total_loss{Decibel::zero()};
+  /// Incoherent switch-crosstalk penalty included in total_loss.
+  Decibel crosstalk_penalty{Decibel::zero()};
+  Power received{Power::zero()};
+  double q_factor{0.0};
+  double pre_fec_ber{1.0};
+  Bandwidth line_rate{Bandwidth::zero()};
+  bool closes{false};  ///< pre-FEC BER under the FEC threshold
+  /// Remaining margin: receiver power above sensitivity (negative = fails).
+  Decibel margin{Decibel::zero()};
+};
+
+class LinkBudget {
+ public:
+  explicit LinkBudget(LinkBudgetParams params = {});
+
+  [[nodiscard]] const LinkBudgetParams& params() const { return params_; }
+
+  /// Deterministic loss of the circuit, using mean stitch loss.
+  [[nodiscard]] Decibel path_loss(const CircuitProfile& profile) const;
+
+  /// Loss with randomly sampled stitch losses (for Monte-Carlo yield runs).
+  [[nodiscard]] Decibel sampled_path_loss(const CircuitProfile& profile, Rng& rng) const;
+
+  /// Full budget evaluation with deterministic losses, including the
+  /// incoherent crosstalk penalty for the profile's MZI traversals.
+  [[nodiscard]] LinkBudgetReport evaluate(const CircuitProfile& profile) const;
+
+  /// Budget evaluation at a specific total path loss (used by Monte-Carlo);
+  /// charges crosstalk for `mzi_traversals`.
+  [[nodiscard]] LinkBudgetReport evaluate_at_loss(Decibel total_path_loss,
+                                                  unsigned mzi_traversals = 0) const;
+
+  /// Receiver sensitivity at the configured line rate and FEC threshold.
+  [[nodiscard]] Power sensitivity() const;
+
+ private:
+  LinkBudgetParams params_;
+  Modulator modulator_;
+  Photodetector photodetector_;
+  LossModel loss_;
+  CrosstalkModel crosstalk_;
+};
+
+}  // namespace lp::phys

@@ -1,0 +1,37 @@
+#include "phys/loss.hpp"
+
+#include <algorithm>
+
+namespace lp::phys {
+
+LossModel::LossModel(LossParams params) : params_{params} {}
+
+Decibel LossModel::propagation(Length distance) const {
+  const double cm = distance.to_meters() * 100.0;
+  return params_.propagation_per_cm * cm;
+}
+
+Decibel LossModel::crossings(unsigned n) const {
+  return params_.crossing * static_cast<double>(n);
+}
+
+Decibel LossModel::stitches_mean(unsigned n) const {
+  return params_.stitch_mean * static_cast<double>(n);
+}
+
+Decibel LossModel::sample_stitch(Rng& rng) const {
+  const double draw =
+      rng.normal(params_.stitch_mean.value(), params_.stitch_sigma.value());
+  return Decibel::db(std::max(0.0, draw));
+}
+
+Decibel LossModel::couplers(unsigned facets) const {
+  return params_.coupler * static_cast<double>(facets);
+}
+
+Decibel LossModel::fiber_hop(Length fiber_length) const {
+  const double km = fiber_length.to_meters() / 1000.0;
+  return params_.fiber_attach * 2.0 + params_.fiber_per_km * km;
+}
+
+}  // namespace lp::phys

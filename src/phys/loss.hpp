@@ -1,0 +1,66 @@
+// Passive-loss model for waveguides, crossings and reticle stitches.
+//
+// The paper measures two passive figures on the prototype (§3, Figure 3b):
+// a 0.25 dB loss at waveguide crossings and a distribution of reticle
+// stitch loss.  LIGHTPATH wafers are larger than one lithographic reticle,
+// so waveguides that span reticle boundaries pick up a stitch loss that
+// varies die-to-die; the paper plots its distribution with a Gaussian fit.
+//
+// LossModel supplies deterministic per-element losses for budget math and a
+// sampled stitch loss for Monte-Carlo reproduction of Figure 3b.
+#pragma once
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace lp::phys {
+
+struct LossParams {
+  /// Waveguide propagation loss per unit length.  Bus waveguides in a
+  /// server-scale interconnect must be low-loss to span the 200 mm wafer;
+  /// 0.1 dB/cm is typical of the SiN-class guides such parts use.
+  Decibel propagation_per_cm{Decibel::db(0.1)};
+  /// Loss per in-plane waveguide crossing (paper: 0.25 dB, "low-loss").
+  Decibel crossing{Decibel::db(0.25)};
+  /// Reticle stitch loss distribution (Gaussian, truncated at 0).
+  Decibel stitch_mean{Decibel::db(0.25)};
+  Decibel stitch_sigma{Decibel::db(0.08)};
+  /// Chip-to-waveguide coupler loss (per facet: laser->guide, guide->PD).
+  Decibel coupler{Decibel::db(1.0)};
+  /// Fiber attach loss at the wafer edge (per facet).
+  Decibel fiber_attach{Decibel::db(1.5)};
+  /// Fiber propagation loss per km (negligible at rack scale, modelled for
+  /// completeness).
+  Decibel fiber_per_km{Decibel::db(0.4)};
+};
+
+class LossModel {
+ public:
+  explicit LossModel(LossParams params = {});
+
+  [[nodiscard]] const LossParams& params() const { return params_; }
+
+  /// Propagation loss over an on-wafer distance.
+  [[nodiscard]] Decibel propagation(Length distance) const;
+
+  /// Loss of `n` waveguide crossings.
+  [[nodiscard]] Decibel crossings(unsigned n) const;
+
+  /// Expected (mean) loss of `n` reticle stitches.
+  [[nodiscard]] Decibel stitches_mean(unsigned n) const;
+
+  /// One random stitch-loss draw (truncated Gaussian, >= 0 dB).
+  [[nodiscard]] Decibel sample_stitch(Rng& rng) const;
+
+  /// Coupler loss for `facets` chip/waveguide interfaces.
+  [[nodiscard]] Decibel couplers(unsigned facets) const;
+
+  /// Total loss for a fiber hop of the given length, including both attach
+  /// facets.
+  [[nodiscard]] Decibel fiber_hop(Length fiber_length) const;
+
+ private:
+  LossParams params_;
+};
+
+}  // namespace lp::phys

@@ -1,0 +1,19 @@
+#include "phys/modulator.hpp"
+
+namespace lp::phys {
+
+Modulator::Modulator(ModulatorParams params) : params_{params} {}
+
+std::uint32_t Modulator::bits_per_symbol() const {
+  return static_cast<std::uint32_t>(params_.line_code);
+}
+
+Bandwidth Modulator::line_rate() const {
+  return Bandwidth::bps(params_.baud_rate * bits_per_symbol());
+}
+
+Decibel Modulator::total_penalty() const {
+  return params_.insertion_loss + params_.modulation_penalty;
+}
+
+}  // namespace lp::phys

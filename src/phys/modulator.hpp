@@ -1,0 +1,48 @@
+// Micro-ring resonator (MRR) modulator and the per-wavelength data rate.
+//
+// The paper's transmitter modulates each of a tile's 16 wavelengths with an
+// MRR, sustaining up to 224 Gbps per wavelength (§3).  We model that rate as
+// baud x bits-per-symbol with a PAM4 line code (112 GBaud x 2 b/sym), plus
+// the modulator's optical penalties that feed the link budget.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace lp::phys {
+
+enum class LineCode : std::uint8_t { kNrz = 1, kPam4 = 2 };
+
+struct ModulatorParams {
+  /// Symbol rate the MRR + SerDes can sustain.
+  double baud_rate{112e9};
+  LineCode line_code{LineCode::kPam4};
+  /// Optical insertion loss through the ring.
+  Decibel insertion_loss{Decibel::db(1.0)};
+  /// Extra power penalty from finite extinction / modulator nonlinearity,
+  /// charged against the budget rather than modelled in the eye.
+  Decibel modulation_penalty{Decibel::db(1.5)};
+};
+
+class Modulator {
+ public:
+  explicit Modulator(ModulatorParams params = {});
+
+  [[nodiscard]] const ModulatorParams& params() const { return params_; }
+
+  /// Bits per symbol of the configured line code.
+  [[nodiscard]] std::uint32_t bits_per_symbol() const;
+
+  /// Peak data rate of one modulated wavelength: baud x bits/symbol.
+  /// 224 Gbps with default parameters, matching the paper.
+  [[nodiscard]] Bandwidth line_rate() const;
+
+  /// Total optical penalty contributed to the link budget.
+  [[nodiscard]] Decibel total_penalty() const;
+
+ private:
+  ModulatorParams params_;
+};
+
+}  // namespace lp::phys

@@ -1,0 +1,68 @@
+#include "phys/mzi.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace lp::phys {
+
+Mzi::Mzi(MziParams params) : params_{params} {}
+
+double Mzi::target_phase(MziPort port) {
+  // Bar state at dphi = 0, cross state at dphi = pi.
+  return port == MziPort::kBar ? 0.0 : std::numbers::pi;
+}
+
+void Mzi::program(MziPort port, TimePoint when) {
+  phase_from_ = phase_at(when);
+  target_ = port;
+  programmed_at_ = when;
+}
+
+double Mzi::phase_at(TimePoint t) const {
+  const double goal = target_phase(target_);
+  const Duration elapsed = t - programmed_at_;
+  if (elapsed < Duration::zero()) return phase_from_;
+  const double decay = std::exp(-(elapsed / params_.tau));
+  return goal + (phase_from_ - goal) * decay;
+}
+
+double Mzi::cross_power_at(TimePoint t) const {
+  const double half = phase_at(t) / 2.0;
+  const double s = std::sin(half);
+  return s * s;
+}
+
+double Mzi::bar_power_at(TimePoint t) const { return 1.0 - cross_power_at(t); }
+
+double Mzi::selected_power_at(TimePoint t) const {
+  return target_ == MziPort::kCross ? cross_power_at(t) : bar_power_at(t);
+}
+
+bool Mzi::settled_at(TimePoint t) const {
+  const double goal = target_phase(target_);
+  const double swing = std::abs(goal - phase_from_);
+  if (swing < 1e-12) return true;
+  return std::abs(phase_at(t) - goal) <= params_.settle_fraction * swing;
+}
+
+Duration Mzi::settling_time() const {
+  return params_.tau * std::log(1.0 / params_.settle_fraction);
+}
+
+Duration Mzi::rise_time_10_90() const {
+  // For a first-order phase lag the *power* transient is not exactly
+  // exponential (power = sin^2(phase/2)), so compute the 10/90 crossings of
+  // the power swing for a full bar->cross transition analytically via the
+  // phase that produces them.
+  //
+  // cross power p(phase) = sin^2(phase/2) rises monotonically in [0, pi];
+  // p = 0.1 at phase1 = 2*asin(sqrt(0.1)), p = 0.9 at phase2.
+  // phase(t) = pi * (1 - exp(-t/tau))  =>  t = -tau * ln(1 - phase/pi).
+  const double phase10 = 2.0 * std::asin(std::sqrt(0.1));
+  const double phase90 = 2.0 * std::asin(std::sqrt(0.9));
+  const double t10 = -std::log(1.0 - phase10 / std::numbers::pi);
+  const double t90 = -std::log(1.0 - phase90 / std::numbers::pi);
+  return params_.tau * (t90 - t10);
+}
+
+}  // namespace lp::phys

@@ -1,0 +1,22 @@
+#include "phys/wdm.hpp"
+
+#include <numeric>
+
+namespace lp::phys {
+
+WdmGrid::WdmGrid(std::uint32_t channels, Length center, Length spacing)
+    : channels_{channels}, center_{center}, spacing_{spacing} {}
+
+Length WdmGrid::wavelength(ChannelId c) const {
+  const double offset =
+      static_cast<double>(c) - (static_cast<double>(channels_) - 1.0) / 2.0;
+  return center_ + spacing_ * offset;
+}
+
+std::vector<ChannelId> WdmGrid::channels() const {
+  std::vector<ChannelId> ids(channels_);
+  std::iota(ids.begin(), ids.end(), 0u);
+  return ids;
+}
+
+}  // namespace lp::phys

@@ -1,0 +1,40 @@
+// Wavelength-division multiplexing grid.
+//
+// Each LIGHTPATH tile carries 16 wavelength-multiplexed lasers (paper §3).
+// A WdmGrid names those channels and assigns them nominal wavelengths on a
+// fixed spacing around an O-band center, which the loss/budget code uses
+// only for bookkeeping (the model is wavelength-flat).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace lp::phys {
+
+/// Index of a wavelength channel on a tile (0-based).
+using ChannelId = std::uint32_t;
+
+class WdmGrid {
+ public:
+  /// Default grid matches the paper: 16 channels.
+  explicit WdmGrid(std::uint32_t channels = 16,
+                   Length center = Length::microns(1.310),
+                   Length spacing = Length::microns(0.0008));
+
+  [[nodiscard]] std::uint32_t channel_count() const { return channels_; }
+
+  /// Nominal wavelength of channel `c`, symmetric around the center.
+  [[nodiscard]] Length wavelength(ChannelId c) const;
+
+  /// All channel ids, convenient for range-for.
+  [[nodiscard]] std::vector<ChannelId> channels() const;
+
+ private:
+  std::uint32_t channels_;
+  Length center_;
+  Length spacing_;
+};
+
+}  // namespace lp::phys

@@ -1,0 +1,73 @@
+// Decentralized circuit setup (§5, "Decentralized algorithms").
+//
+// A centralized controller that tracks every waveguide does not scale to
+// hundreds of accelerators with MoE-style dynamic traffic.  This module
+// simulates the natural decentralized alternative: each source tile
+// independently sends a SETUP probe along a self-chosen path; every tile on
+// the path locally reserves lanes and forwards the probe; a tile without
+// spare lanes NACKs, reservations unwind, and the source retries a
+// different path variant after randomized exponential backoff.
+//
+// The simulation runs against a *copy* of the fabric's lane ledger (the
+// real fabric is untouched) and reports per-demand setup latency, retry and
+// message counts — the quantities the bench compares against the
+// centralized planner.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lightpath/fabric.hpp"
+#include "routing/planner.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace lp::routing {
+
+struct DecentralizedParams {
+  /// One-hop probe/ack propagation + forwarding time between tiles.
+  Duration hop_latency{Duration::nanos(10.0)};
+  /// Local reservation processing at each tile.
+  Duration process_latency{Duration::nanos(5.0)};
+  /// First retry backoff; doubles each retry, with uniform jitter.
+  Duration backoff_base{Duration::nanos(200.0)};
+  unsigned max_retries{16};
+  std::uint64_t seed{0x5eed};
+};
+
+struct SetupOutcome {
+  bool success{false};
+  Duration completion{Duration::zero()};
+  unsigned retries{0};
+  unsigned messages{0};
+};
+
+struct DecentralizedReport {
+  std::vector<SetupOutcome> per_demand;
+  Duration makespan{Duration::zero()};
+  std::uint64_t total_messages{0};
+  unsigned failures{0};
+  /// Settle latency still applies once circuits are programmed.
+  Duration settle{Duration::zero()};
+};
+
+/// Simulates decentralized setup of all same-wafer demands.  Demands start
+/// simultaneously at t=0 (the worst-case burst an MoE gating step creates).
+[[nodiscard]] DecentralizedReport run_decentralized_setup(
+    const fabric::Fabric& fab, const std::vector<Demand>& demands,
+    const DecentralizedParams& params = {});
+
+/// Cost model for the centralized baseline on the same burst: every demand
+/// is round-tripped to one controller (hop latency per fabric hop to the
+/// controller tile), planned sequentially (per-demand planning cost), then
+/// programmed as one batch.  Used by bench_decentralized for contrast.
+struct CentralizedParams {
+  Duration request_rtt{Duration::micros(1.0)};
+  Duration plan_per_demand{Duration::nanos(300.0)};
+};
+
+[[nodiscard]] Duration centralized_setup_latency(const fabric::Fabric& fab,
+                                                 std::size_t demand_count,
+                                                 const CentralizedParams& params = {});
+
+}  // namespace lp::routing

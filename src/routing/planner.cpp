@@ -1,0 +1,62 @@
+#include "routing/planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lp::routing {
+
+using fabric::Fabric;
+using fabric::GlobalTile;
+
+CircuitPlanner::CircuitPlanner(Fabric& fab, RouteOptions options)
+    : fabric_{fab}, options_{options} {}
+
+Result<fabric::CircuitId> CircuitPlanner::place_one(const Demand& demand) {
+  if (demand.src.wafer != demand.dst.wafer) {
+    return fabric_.connect(demand.src, demand.dst, demand.wavelengths);
+  }
+  RouteOptions opts = options_;
+  opts.lanes = demand.wavelengths;
+  const auto hops =
+      find_route(fabric_.wafer(demand.src.wafer), demand.src.tile, demand.dst.tile, opts);
+  if (!hops) return Err("no feasible waveguide path");
+  return fabric_.connect_via(demand.src, demand.dst, *hops, demand.wavelengths);
+}
+
+PlanReport CircuitPlanner::place_all(const std::vector<Demand>& demands) {
+  PlanReport report;
+
+  // Longest demands first: long circuits are the hardest to route around
+  // existing reservations, so give them first pick of the lanes.
+  std::vector<Demand> ordered = demands;
+  auto manhattan = [&](const Demand& d) {
+    if (d.src.wafer != d.dst.wafer) return std::numeric_limits<std::int32_t>::max();
+    const auto& w = fabric_.wafer(d.src.wafer);
+    const auto a = w.coord_of(d.src.tile);
+    const auto b = w.coord_of(d.dst.tile);
+    return std::abs(a.row - b.row) + std::abs(a.col - b.col);
+  };
+  std::stable_sort(ordered.begin(), ordered.end(), [&](const Demand& a, const Demand& b) {
+    return manhattan(a) > manhattan(b);
+  });
+
+  for (const Demand& d : ordered) {
+    auto placed = place_one(d);
+    if (placed) {
+      const fabric::Circuit* c = fabric_.circuit(placed.value());
+      report.mzis_programmed += c != nullptr ? c->mzis_to_program() : 0;
+      report.placed.push_back(PlacedCircuit{d, placed.value()});
+    } else {
+      report.failed.push_back(d);
+    }
+  }
+  // The whole batch settles in parallel after serial programming.
+  report.reconfig_latency = fabric_.reconfig().batch_latency(report.mzis_programmed);
+  return report;
+}
+
+void CircuitPlanner::release_all(const PlanReport& report) {
+  for (const auto& placed : report.placed) fabric_.disconnect(placed.id);
+}
+
+}  // namespace lp::routing

@@ -1,0 +1,93 @@
+#include "routing/repair.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace lp::routing {
+
+using fabric::Fabric;
+using fabric::GlobalTile;
+
+RepairPlan repair_with_spare(Fabric& fab, const RepairRequest& req,
+                             const RouteOptions& options) {
+  RepairPlan plan;
+  unsigned mzis = 0;
+
+  auto establish = [&](GlobalTile from, GlobalTile to) -> bool {
+    Result<fabric::CircuitId> placed = Err("unattempted");
+    if (from.wafer == to.wafer) {
+      RouteOptions opts = options;
+      opts.lanes = req.wavelengths;
+      const auto hops = find_route(fab.wafer(from.wafer), from.tile, to.tile, opts);
+      if (!hops) return false;
+      placed = fab.connect_via(from, to, *hops, req.wavelengths);
+    } else {
+      placed = fab.connect(from, to, req.wavelengths);
+    }
+    if (!placed) return false;
+    const fabric::Circuit* c = fab.circuit(placed.value());
+    if (c != nullptr) {
+      mzis += c->mzis_to_program();
+      if (c->fiber_hops > 0) plan.fibers_used += req.wavelengths;
+    }
+    plan.circuits.push_back(placed.value());
+    return true;
+  };
+
+  for (const GlobalTile& n : req.neighbors) {
+    if (!establish(n, req.spare) || !establish(req.spare, n)) {
+      for (fabric::CircuitId id : plan.circuits) fab.disconnect(id);
+      plan.circuits.clear();
+      plan.complete = false;
+      return plan;
+    }
+  }
+  plan.reconfig_latency = fab.reconfig().batch_latency(mzis);
+  plan.complete = true;
+  return plan;
+}
+
+Result<std::size_t> choose_spare(const Fabric& fab,
+                                 const std::vector<GlobalTile>& candidates,
+                                 const std::vector<GlobalTile>& neighbors) {
+  if (candidates.empty()) return Err("no spare candidates");
+
+  auto fibers_needed = [&](const GlobalTile& spare) {
+    std::uint32_t fibers = 0;
+    for (const GlobalTile& n : neighbors) {
+      if (n.wafer != spare.wafer) fibers += 2;  // both directions
+    }
+    return fibers;
+  };
+  auto distance = [&](const GlobalTile& spare) {
+    std::int32_t total = 0;
+    for (const GlobalTile& n : neighbors) {
+      if (n.wafer != spare.wafer) {
+        total += 1000;  // cross-wafer dominates any on-wafer distance
+        continue;
+      }
+      const auto& w = fab.wafer(spare.wafer);
+      const auto a = w.coord_of(spare.tile);
+      const auto b = w.coord_of(n.tile);
+      total += std::abs(a.row - b.row) + std::abs(a.col - b.col);
+    }
+    return total;
+  };
+
+  std::size_t best = 0;
+  std::uint32_t best_fibers = std::numeric_limits<std::uint32_t>::max();
+  std::int32_t best_distance = std::numeric_limits<std::int32_t>::max();
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const std::uint32_t f = fibers_needed(candidates[i]);
+    const std::int32_t dist = distance(candidates[i]);
+    if (f < best_fibers || (f == best_fibers && dist < best_distance)) {
+      best = i;
+      best_fibers = f;
+      best_distance = dist;
+    }
+  }
+  return best;
+}
+
+}  // namespace lp::routing

@@ -1,0 +1,54 @@
+// Optical fault repair (Figure 7).
+//
+// After a chip fails, its slice's rings are broken: the failed chip's ring
+// neighbors have no one to exchange with.  The repair planner wires a spare
+// chip into every broken ring with dedicated optical circuits — one per
+// direction per neighbor — placed on non-overlapping waveguides (and, when
+// the spare sits on another wafer, on separate fibers).  The result is a
+// congestion-free repair whose blast radius is the failed chip's server,
+// not the whole rack.
+#pragma once
+
+#include <vector>
+
+#include "lightpath/fabric.hpp"
+#include "routing/planner.hpp"
+#include "util/result.hpp"
+
+namespace lp::routing {
+
+struct RepairRequest {
+  /// The spare chip's fabric tile.
+  fabric::GlobalTile spare{};
+  /// Tiles of the failed chip's ring neighbors that need reconnection.
+  std::vector<fabric::GlobalTile> neighbors;
+  /// Wavelengths per direction per neighbor (sets repaired-ring bandwidth).
+  std::uint32_t wavelengths{1};
+};
+
+struct RepairPlan {
+  /// Established circuits: neighbor->spare and spare->neighbor per neighbor.
+  std::vector<fabric::CircuitId> circuits;
+  /// Total time to program the repair (serial programming + settle).
+  Duration reconfig_latency{Duration::zero()};
+  /// Fibers consumed (0 when spare and neighbors share a wafer).
+  std::uint32_t fibers_used{0};
+  bool complete{false};
+};
+
+/// Plans and establishes the repair circuits on the fabric.  On partial
+/// failure the already-established circuits are torn down and
+/// complete=false is returned with whatever latency was observed.
+[[nodiscard]] RepairPlan repair_with_spare(fabric::Fabric& fab, const RepairRequest& req,
+                                           const RouteOptions& options = {});
+
+/// Fiber-minimizing spare selection (§5, "Minimizing fiber requirement for
+/// fault tolerance"): among candidate spare tiles, pick the one whose
+/// repair would consume the fewest fibers (same-wafer spares win), breaking
+/// ties by total Manhattan distance to the neighbors.  Returns the index
+/// into `candidates`, or an error if empty.
+[[nodiscard]] Result<std::size_t> choose_spare(const fabric::Fabric& fab,
+                                               const std::vector<fabric::GlobalTile>& candidates,
+                                               const std::vector<fabric::GlobalTile>& neighbors);
+
+}  // namespace lp::routing

@@ -1,0 +1,85 @@
+#include "routing/router.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace lp::routing {
+
+using fabric::Direction;
+using fabric::TileId;
+using fabric::Wafer;
+
+std::optional<std::vector<Direction>> find_route(const Wafer& wafer, TileId from,
+                                                 TileId to, const RouteOptions& options) {
+  if (from == to) return std::vector<Direction>{};
+
+  // State space: tile x incoming direction (4 dirs + 1 "none" for source).
+  constexpr std::size_t kNoDir = 4;
+  const std::size_t tiles = wafer.tile_count();
+  const std::size_t states = tiles * 5;
+  std::vector<double> dist(states, std::numeric_limits<double>::infinity());
+  std::vector<std::int32_t> prev_state(states, -1);
+
+  const auto state_of = [](TileId t, std::size_t in_dir) {
+    return static_cast<std::size_t>(t) * 5 + in_dir;
+  };
+
+  struct Item {
+    double cost;
+    std::size_t state;
+    bool operator>(const Item& o) const { return cost > o.cost; }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+
+  const std::size_t start = state_of(from, kNoDir);
+  dist[start] = 0.0;
+  heap.push(Item{0.0, start});
+
+  while (!heap.empty()) {
+    const auto [cost, state] = heap.top();
+    heap.pop();
+    if (cost > dist[state]) continue;
+    const TileId tile = static_cast<TileId>(state / 5);
+    const std::size_t in_dir = state % 5;
+    if (tile == to) break;
+
+    for (Direction d : fabric::kAllDirections) {
+      const auto next = wafer.neighbor(tile, d);
+      if (!next) continue;
+      if (wafer.lanes_free(tile, d) < options.lanes) continue;
+      const bool is_turn =
+          in_dir != kNoDir && d != static_cast<Direction>(in_dir);
+      const double step = 1.0 + (is_turn ? options.turn_penalty : 0.0);
+      const std::size_t next_state = state_of(*next, static_cast<std::size_t>(d));
+      if (dist[state] + step < dist[next_state]) {
+        dist[next_state] = dist[state] + step;
+        prev_state[next_state] = static_cast<std::int32_t>(state);
+        heap.push(Item{dist[next_state], next_state});
+      }
+    }
+  }
+
+  // Best terminal state at `to` over all incoming directions.
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_state = 0;
+  for (std::size_t in = 0; in < 5; ++in) {
+    const std::size_t s = state_of(to, in);
+    if (dist[s] < best) {
+      best = dist[s];
+      best_state = s;
+    }
+  }
+  if (!std::isfinite(best)) return std::nullopt;
+
+  std::vector<Direction> hops;
+  std::size_t s = best_state;
+  while (prev_state[s] >= 0) {
+    hops.push_back(static_cast<Direction>(s % 5));
+    s = static_cast<std::size_t>(prev_state[s]);
+  }
+  std::reverse(hops.begin(), hops.end());
+  return hops;
+}
+
+}  // namespace lp::routing

@@ -1,0 +1,31 @@
+// Capacity-aware waveguide routing on one wafer.
+//
+// Fabric::connect uses fixed XY routing; this router searches for *any*
+// path with enough free lanes, preferring short paths with few turns
+// (every turn adds an MZI traversal and a crossing to the loss budget).
+// It is the building block for the multi-demand planner and the repair
+// planner, and the subject of the §5 "exploding paths" scalability bench.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "lightpath/wafer.hpp"
+
+namespace lp::routing {
+
+struct RouteOptions {
+  /// Lanes the circuit needs on every edge.
+  std::uint32_t lanes{1};
+  /// Extra cost per turn, in hop units (0 = pure shortest path).
+  double turn_penalty{0.25};
+};
+
+/// Dijkstra over (tile, incoming-direction) states with per-edge residual
+/// lane capacity.  Returns the hop sequence from `from` to `to`, or nullopt
+/// when no feasible path exists.
+[[nodiscard]] std::optional<std::vector<fabric::Direction>> find_route(
+    const fabric::Wafer& wafer, fabric::TileId from, fabric::TileId to,
+    const RouteOptions& options = {});
+
+}  // namespace lp::routing

@@ -1,0 +1,90 @@
+#include "routing/wavelength.hpp"
+
+#include <algorithm>
+
+namespace lp::routing {
+
+using fabric::Direction;
+using fabric::TileId;
+using phys::ChannelId;
+
+WdmLedger::WdmLedger(const fabric::Wafer& wafer, std::uint32_t channels)
+    : wafer_{wafer},
+      channels_{channels},
+      used_(static_cast<std::size_t>(wafer.tile_count()) * 4 * channels, false) {}
+
+std::size_t WdmLedger::edge_index(TileId tile, Direction dir) const {
+  return static_cast<std::size_t>(tile) * 4 + static_cast<std::size_t>(dir);
+}
+
+bool WdmLedger::channel_free(TileId from, std::span<const Direction> path,
+                             ChannelId c) const {
+  TileId at = from;
+  for (Direction d : path) {
+    const auto next = wafer_.neighbor(at, d);
+    if (!next) return false;
+    if (edge_channel_used(edge_index(at, d), c)) return false;
+    at = *next;
+  }
+  return true;
+}
+
+Result<std::vector<ChannelId>> WdmLedger::assign(TileId from,
+                                                 std::span<const Direction> path,
+                                                 std::uint32_t k) {
+  std::vector<ChannelId> chosen;
+  for (ChannelId c = 0; c < channels_ && chosen.size() < k; ++c) {
+    if (channel_free(from, path, c)) chosen.push_back(c);
+  }
+  if (chosen.size() < k)
+    return Err("wavelength continuity violated: only " +
+               std::to_string(chosen.size()) + " of " + std::to_string(k) +
+               " channels free along the path");
+  // Commit.
+  TileId at = from;
+  for (Direction d : path) {
+    const std::size_t edge = edge_index(at, d);
+    for (ChannelId c : chosen) used_[edge * channels_ + c] = true;
+    at = *wafer_.neighbor(at, d);
+  }
+  return chosen;
+}
+
+void WdmLedger::release(TileId from, std::span<const Direction> path,
+                        std::span<const ChannelId> assigned) {
+  TileId at = from;
+  for (Direction d : path) {
+    const auto next = wafer_.neighbor(at, d);
+    if (!next) return;
+    const std::size_t edge = edge_index(at, d);
+    for (ChannelId c : assigned) used_[edge * channels_ + c] = false;
+    at = *next;
+  }
+}
+
+double WdmLedger::occupancy(TileId tile, Direction dir) const {
+  const std::size_t edge = edge_index(tile, dir);
+  std::uint32_t busy = 0;
+  for (ChannelId c = 0; c < channels_; ++c) {
+    if (edge_channel_used(edge, c)) ++busy;
+  }
+  return static_cast<double>(busy) / channels_;
+}
+
+double WdmLedger::fragmentation(TileId tile, Direction dir) const {
+  const std::size_t edge = edge_index(tile, dir);
+  std::uint32_t free_total = 0, run = 0, best_run = 0;
+  for (ChannelId c = 0; c < channels_; ++c) {
+    if (!edge_channel_used(edge, c)) {
+      ++free_total;
+      ++run;
+      best_run = std::max(best_run, run);
+    } else {
+      run = 0;
+    }
+  }
+  if (free_total == 0) return 0.0;
+  return 1.0 - static_cast<double>(best_run) / static_cast<double>(free_total);
+}
+
+}  // namespace lp::routing

@@ -1,0 +1,67 @@
+// Wavelength assignment with the continuity constraint.
+//
+// The lane-count ledger in Wafer treats waveguides as interchangeable.  At
+// the WDM level there is one more constraint the paper's hardware implies:
+// a circuit's wavelengths are fixed at the source lasers (16 per tile) and
+// are not converted mid-path, so a k-lambda circuit must find k channels
+// that are simultaneously free on *every* bus waveguide segment it rides —
+// the classic routing-and-wavelength-assignment continuity constraint.
+//
+// WdmLedger tracks per-directed-edge channel occupancy of one shared bus
+// per edge and assigns channels first-fit.  It demonstrates (tests and the
+// fig4 bench) how fragmentation can block a circuit even when aggregate
+// capacity remains — and why LIGHTPATH's thousands of parallel waveguides
+// (each circuit gets private lanes) sidestep the problem.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lightpath/wafer.hpp"
+#include "phys/wdm.hpp"
+#include "util/result.hpp"
+
+namespace lp::routing {
+
+class WdmLedger {
+ public:
+  /// Tracks `channels` WDM channels on every directed edge of `wafer`.
+  explicit WdmLedger(const fabric::Wafer& wafer, std::uint32_t channels = 16);
+
+  [[nodiscard]] std::uint32_t channels() const { return channels_; }
+
+  /// True if channel `c` is free on every edge along the path.
+  [[nodiscard]] bool channel_free(fabric::TileId from,
+                                  std::span<const fabric::Direction> path,
+                                  phys::ChannelId c) const;
+
+  /// First-fit: find `k` channels free along the whole path and mark them
+  /// used.  On failure nothing is assigned.
+  Result<std::vector<phys::ChannelId>> assign(fabric::TileId from,
+                                              std::span<const fabric::Direction> path,
+                                              std::uint32_t k);
+
+  /// Releases previously assigned channels along the path.
+  void release(fabric::TileId from, std::span<const fabric::Direction> path,
+               std::span<const phys::ChannelId> assigned);
+
+  /// Occupied fraction of one edge's channels.
+  [[nodiscard]] double occupancy(fabric::TileId tile, fabric::Direction dir) const;
+
+  /// Fragmentation of an edge: 1 - (largest free run / total free).  0 when
+  /// the free channels are contiguous (or the edge is full).
+  [[nodiscard]] double fragmentation(fabric::TileId tile, fabric::Direction dir) const;
+
+ private:
+  [[nodiscard]] std::size_t edge_index(fabric::TileId tile, fabric::Direction dir) const;
+  [[nodiscard]] bool edge_channel_used(std::size_t edge, phys::ChannelId c) const {
+    return used_[edge * channels_ + c];
+  }
+
+  const fabric::Wafer& wafer_;
+  std::uint32_t channels_;
+  std::vector<bool> used_;  ///< edge-major channel occupancy
+};
+
+}  // namespace lp::routing

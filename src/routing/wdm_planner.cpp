@@ -1,0 +1,77 @@
+#include "routing/wdm_planner.hpp"
+
+#include "routing/router.hpp"
+
+namespace lp::routing {
+
+using fabric::Direction;
+using fabric::TileId;
+using fabric::Wafer;
+
+namespace {
+
+std::vector<Direction> ordered_route(const Wafer& wafer, TileId from, TileId to,
+                                     bool yx_first) {
+  std::vector<Direction> hops;
+  auto c = wafer.coord_of(from);
+  const auto goal = wafer.coord_of(to);
+  const auto do_cols = [&] {
+    while (c.col != goal.col) {
+      hops.push_back(c.col < goal.col ? Direction::kEast : Direction::kWest);
+      c.col += c.col < goal.col ? 1 : -1;
+    }
+  };
+  const auto do_rows = [&] {
+    while (c.row != goal.row) {
+      hops.push_back(c.row < goal.row ? Direction::kSouth : Direction::kNorth);
+      c.row += c.row < goal.row ? 1 : -1;
+    }
+  };
+  if (yx_first) {
+    do_rows();
+    do_cols();
+  } else {
+    do_cols();
+    do_rows();
+  }
+  return hops;
+}
+
+}  // namespace
+
+WdmPlanner::WdmPlanner(const Wafer& wafer, std::uint32_t channels)
+    : wafer_{wafer}, ledger_{wafer, channels} {}
+
+Result<WdmCircuit> WdmPlanner::place(const Demand& demand) {
+  if (demand.src.wafer != demand.dst.wafer)
+    return Err("WdmPlanner handles same-wafer demands only");
+
+  std::vector<std::vector<Direction>> candidates;
+  candidates.push_back(ordered_route(wafer_, demand.src.tile, demand.dst.tile, false));
+  candidates.push_back(ordered_route(wafer_, demand.src.tile, demand.dst.tile, true));
+  if (const auto routed = find_route(wafer_, demand.src.tile, demand.dst.tile)) {
+    candidates.push_back(*routed);
+  }
+
+  bool any_path = false;
+  for (const auto& hops : candidates) {
+    any_path = true;
+    auto channels = ledger_.assign(demand.src.tile, hops, demand.wavelengths);
+    if (channels) {
+      ++stats_.placed;
+      return WdmCircuit{demand, hops, std::move(channels).value()};
+    }
+  }
+  if (any_path) {
+    ++stats_.blocked_continuity;
+    return Err("wavelength continuity blocked all candidate paths");
+  }
+  ++stats_.blocked_no_path;
+  return Err("no candidate path");
+}
+
+void WdmPlanner::release(const WdmCircuit& circuit) {
+  ledger_.release(circuit.demand.src.tile, circuit.hops, circuit.channels);
+}
+
+}  // namespace lp::routing

@@ -1,0 +1,66 @@
+// Circuit planning on *shared* WDM buses — the counterfactual design.
+//
+// LIGHTPATH gives every circuit private waveguide lanes (Figure 4's
+// thousands of parallel guides), so wavelength continuity never bites.  A
+// cheaper fabric would share one WDM bus per edge; then a k-lambda circuit
+// needs k channels free on every edge of its path simultaneously, and
+// requests start blocking well below full utilization (the classic RWA
+// result).  WdmPlanner implements that design: route candidates (XY, YX,
+// capacity-aware router) tried in order against the WdmLedger, with
+// blocking statistics split into "no path" vs "continuity" so the ablation
+// bench can show why the paper's lane-rich design is the right call.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lightpath/wafer.hpp"
+#include "phys/wdm.hpp"
+#include "routing/planner.hpp"
+#include "routing/wavelength.hpp"
+
+namespace lp::routing {
+
+struct WdmCircuit {
+  Demand demand{};
+  std::vector<fabric::Direction> hops;
+  std::vector<phys::ChannelId> channels;
+};
+
+struct WdmPlannerStats {
+  std::uint64_t placed{0};
+  std::uint64_t blocked_continuity{0};  ///< a path existed, channels did not
+  std::uint64_t blocked_no_path{0};
+
+  [[nodiscard]] double blocking_probability() const {
+    const std::uint64_t total = placed + blocked_continuity + blocked_no_path;
+    return total == 0 ? 0.0
+                      : static_cast<double>(blocked_continuity + blocked_no_path) /
+                            static_cast<double>(total);
+  }
+};
+
+class WdmPlanner {
+ public:
+  /// Plans over `wafer`'s topology with `channels` WDM channels per edge
+  /// bus.  The wafer is only used for geometry; occupancy lives in the
+  /// internal ledger.
+  explicit WdmPlanner(const fabric::Wafer& wafer, std::uint32_t channels = 16);
+
+  /// Tries XY, then YX, then the capacity-aware router's path; the first
+  /// candidate with `demand.wavelengths` continuous channels wins.
+  Result<WdmCircuit> place(const Demand& demand);
+
+  void release(const WdmCircuit& circuit);
+
+  [[nodiscard]] const WdmPlannerStats& stats() const { return stats_; }
+  [[nodiscard]] const WdmLedger& ledger() const { return ledger_; }
+  void reset_stats() { stats_ = WdmPlannerStats{}; }
+
+ private:
+  const fabric::Wafer& wafer_;
+  WdmLedger ledger_;
+  WdmPlannerStats stats_;
+};
+
+}  // namespace lp::routing

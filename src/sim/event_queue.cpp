@@ -1,0 +1,40 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace lp::sim {
+
+void EventQueue::schedule_at(TimePoint when, Callback fn) {
+  heap_.push(Item{when, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::schedule_in(Duration delay, Callback fn) {
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+std::size_t EventQueue::run(std::size_t max_events) {
+  std::size_t processed = 0;
+  while (!heap_.empty() && processed < max_events) {
+    // Copy out before pop: the callback may schedule new events.
+    Item item = heap_.top();
+    heap_.pop();
+    now_ = item.when;
+    item.fn();
+    ++processed;
+  }
+  return processed;
+}
+
+std::size_t EventQueue::run_until(TimePoint until) {
+  std::size_t processed = 0;
+  while (!heap_.empty() && heap_.top().when <= until) {
+    Item item = heap_.top();
+    heap_.pop();
+    now_ = item.when;
+    item.fn();
+    ++processed;
+  }
+  return processed;
+}
+
+}  // namespace lp::sim

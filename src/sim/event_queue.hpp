@@ -1,0 +1,58 @@
+// Minimal discrete-event simulation core.
+//
+// Used by the decentralized circuit-setup protocol simulation (routing/
+// decentralized) and available to any component that needs timed callbacks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace lp::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `fn` to run at absolute time `when`.
+  void schedule_at(TimePoint when, Callback fn);
+
+  /// Schedule `fn` to run `delay` after the current time.
+  void schedule_in(Duration delay, Callback fn);
+
+  /// Current simulation time (the timestamp of the event being processed,
+  /// or of the last processed event).
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+
+  /// Process events in timestamp order until the queue drains or
+  /// `max_events` have run.  Returns the number of events processed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  /// Process events with timestamp <= `until`.
+  std::size_t run_until(TimePoint until);
+
+ private:
+  struct Item {
+    TimePoint when;
+    std::uint64_t seq;  ///< FIFO tie-break for equal timestamps
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Item, std::vector<Item>, Later> heap_;
+  TimePoint now_{};
+  std::uint64_t next_seq_{0};
+};
+
+}  // namespace lp::sim

@@ -1,0 +1,180 @@
+#include "sim/flow_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace lp::sim {
+
+FlowSimulator::FlowSimulator(Bandwidth link_capacity) : link_capacity_{link_capacity} {}
+
+void FlowSimulator::compute_rates(const std::vector<std::size_t>& active,
+                                  const std::vector<const coll::Transfer*>& flows,
+                                  std::vector<double>& rate_bps) const {
+  // Progressive filling: repeatedly saturate the bottleneck link with the
+  // smallest fair share among its unfrozen flows.
+  struct LinkState {
+    double capacity;
+    std::vector<std::size_t> flows;  // indices into `flows`
+  };
+  std::unordered_map<std::size_t, LinkState> links;
+  std::vector<bool> frozen(flows.size(), false);
+  std::vector<std::size_t> electrical;
+
+  for (std::size_t i : active) {
+    const coll::Transfer& t = *flows[i];
+    if (t.is_optical()) {
+      rate_bps[i] = t.dedicated_rate.to_bps();
+      frozen[i] = true;
+      continue;
+    }
+    if (t.route.empty()) {
+      // Degenerate: no links -> treat as instantaneous at link capacity.
+      rate_bps[i] = link_capacity_.to_bps();
+      frozen[i] = true;
+      continue;
+    }
+    electrical.push_back(i);
+    for (const auto& l : t.route) {
+      auto [it, inserted] = links.try_emplace(topo::link_key(l),
+                                              LinkState{link_capacity_.to_bps(), {}});
+      it->second.flows.push_back(i);
+    }
+  }
+
+  std::size_t remaining = electrical.size();
+  while (remaining > 0) {
+    // Find the bottleneck: link with the smallest capacity / unfrozen-flows.
+    double best_share = std::numeric_limits<double>::infinity();
+    for (const auto& [key, link] : links) {
+      std::size_t unfrozen = 0;
+      for (std::size_t f : link.flows) {
+        if (!frozen[f]) ++unfrozen;
+      }
+      if (unfrozen == 0) continue;
+      const double share = link.capacity / static_cast<double>(unfrozen);
+      best_share = std::min(best_share, share);
+    }
+    if (!std::isfinite(best_share)) break;
+
+    // Freeze every unfrozen flow crossing a bottleneck link at that share.
+    bool froze_any = false;
+    for (auto& [key, link] : links) {
+      std::size_t unfrozen = 0;
+      for (std::size_t f : link.flows) {
+        if (!frozen[f]) ++unfrozen;
+      }
+      if (unfrozen == 0) continue;
+      const double share = link.capacity / static_cast<double>(unfrozen);
+      if (share > best_share * (1.0 + 1e-12)) continue;
+      for (std::size_t f : link.flows) {
+        if (frozen[f]) continue;
+        rate_bps[f] = best_share;
+        frozen[f] = true;
+        froze_any = true;
+        --remaining;
+        // Deduct this flow's rate from every link it crosses.
+        for (const auto& l2 : flows[f]->route) {
+          links.at(topo::link_key(l2)).capacity -= best_share;
+        }
+      }
+    }
+    if (!froze_any) break;
+  }
+}
+
+PhaseResult FlowSimulator::run_phase(const std::vector<coll::Transfer>& transfers) const {
+  PhaseResult result;
+  result.flows.resize(transfers.size());
+  if (transfers.empty()) return result;
+
+  std::vector<const coll::Transfer*> flows;
+  flows.reserve(transfers.size());
+  for (const auto& t : transfers) flows.push_back(&t);
+
+  // Peak link load at phase start (diagnostic for congestion reporting).
+  {
+    std::unordered_map<std::size_t, std::uint32_t> load;
+    for (const auto& t : transfers) {
+      for (const auto& l : t.route) ++load[topo::link_key(l)];
+    }
+    for (const auto& [k, v] : load) result.peak_link_load = std::max(result.peak_link_load, v);
+  }
+
+  std::vector<double> remaining_bits(transfers.size());
+  for (std::size_t i = 0; i < transfers.size(); ++i)
+    remaining_bits[i] = transfers[i].bytes.to_bits();
+
+  std::vector<std::size_t> active;
+  for (std::size_t i = 0; i < transfers.size(); ++i) {
+    if (remaining_bits[i] > 0) {
+      active.push_back(i);
+    } else {
+      result.flows[i].completion = Duration::zero();
+    }
+  }
+
+  double now_s = 0.0;
+  bool first_round = true;
+  std::vector<double> rate_bps(transfers.size(), 0.0);
+  while (!active.empty()) {
+    std::fill(rate_bps.begin(), rate_bps.end(), 0.0);
+    compute_rates(active, flows, rate_bps);
+    if (first_round) {
+      for (std::size_t i : active)
+        result.flows[i].initial_rate = Bandwidth::bps(rate_bps[i]);
+      first_round = false;
+    }
+    // Earliest finishing active flow.
+    double dt = std::numeric_limits<double>::infinity();
+    for (std::size_t i : active) {
+      if (rate_bps[i] <= 0.0) continue;
+      dt = std::min(dt, remaining_bits[i] / rate_bps[i]);
+    }
+    if (!std::isfinite(dt)) break;  // starved flows (shouldn't happen)
+    now_s += dt;
+    std::vector<std::size_t> still;
+    for (std::size_t i : active) {
+      remaining_bits[i] -= rate_bps[i] * dt;
+      if (remaining_bits[i] <= 1e-6) {
+        result.flows[i].completion = Duration::seconds(now_s);
+      } else {
+        still.push_back(i);
+      }
+    }
+    active.swap(still);
+  }
+  result.duration = Duration::seconds(now_s);
+  return result;
+}
+
+ScheduleResult FlowSimulator::run(const coll::Schedule& schedule,
+                                  TimelineTrace* trace) const {
+  ScheduleResult result;
+  std::uint32_t phase_index = 0;
+  for (const auto& phase : schedule.phases) {
+    PhaseResult pr = run_phase(phase.transfers);
+    if (trace != nullptr) {
+      if (phase.pre_delay > Duration::zero()) {
+        trace->add(TraceEvent{phase_index, "reconfig", result.total,
+                              result.total + phase.pre_delay, Bandwidth::zero()});
+      }
+      const Duration phase_start = result.total + phase.pre_delay;
+      for (std::size_t i = 0; i < phase.transfers.size(); ++i) {
+        const auto& t = phase.transfers[i];
+        trace->add(TraceEvent{phase_index,
+                              std::to_string(t.src) + "->" + std::to_string(t.dst),
+                              phase_start, phase_start + pr.flows[i].completion,
+                              pr.flows[i].initial_rate});
+      }
+    }
+    result.total += phase.pre_delay + pr.duration;
+    result.reconfig_time += phase.pre_delay;
+    result.peak_link_load = std::max(result.peak_link_load, pr.peak_link_load);
+    result.phases.push_back(std::move(pr));
+    ++phase_index;
+  }
+  return result;
+}
+
+}  // namespace lp::sim

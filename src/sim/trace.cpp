@@ -1,0 +1,26 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace lp::sim {
+
+void TimelineTrace::add(TraceEvent event) { events_.push_back(std::move(event)); }
+
+Duration TimelineTrace::span() const {
+  Duration latest = Duration::zero();
+  for (const auto& e : events_) latest = std::max(latest, e.end);
+  return latest;
+}
+
+std::string TimelineTrace::to_csv() const {
+  std::ostringstream out;
+  out << "phase,label,start_us,end_us,rate_gbps\n";
+  for (const auto& e : events_) {
+    out << e.phase << ',' << e.label << ',' << e.start.to_micros() << ','
+        << e.end.to_micros() << ',' << e.rate.to_gbps() << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace lp::sim

@@ -1,0 +1,42 @@
+// Execution timeline tracing.
+//
+// Optional observer for the flow simulator: records each phase and each
+// flow's (start, completion, rate) so benches and examples can export a
+// machine-readable timeline (CSV) of a collective's execution — the raw
+// data behind every figure this repository regenerates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace lp::sim {
+
+struct TraceEvent {
+  std::uint32_t phase{0};
+  std::string label;            ///< e.g. "reconfig" or "flow src->dst"
+  Duration start{Duration::zero()};
+  Duration end{Duration::zero()};
+  Bandwidth rate{Bandwidth::zero()};  ///< initial rate for flows, 0 otherwise
+};
+
+class TimelineTrace {
+ public:
+  void add(TraceEvent event);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] Duration span() const;
+
+  /// CSV with header: phase,label,start_us,end_us,rate_gbps
+  [[nodiscard]] std::string to_csv() const;
+
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace lp::sim

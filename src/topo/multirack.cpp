@@ -1,0 +1,59 @@
+#include "topo/multirack.hpp"
+
+#include <string>
+
+namespace lp::topo {
+
+Result<JoinedTorus> JoinedTorus::join(ClusterConfig base, std::int32_t racks_joined,
+                                      std::size_t join_dim, OcsBank& bank) {
+  if (racks_joined < 2) return Err("join requires at least 2 racks");
+  if (join_dim >= kDims) return Err("join dimension out of range");
+
+  // Face links per seam: the cross-section of the rack perpendicular to the
+  // join dimension.  Seams: racks_joined inter-rack boundaries (the last one
+  // is the big wraparound), each a bidirectional fiber pair per face chip.
+  std::int32_t face = 1;
+  for (std::size_t d = 0; d < kDims; ++d) {
+    if (d != join_dim) face *= base.rack_shape[static_cast<std::size_t>(d)];
+  }
+  const auto ports =
+      static_cast<std::uint32_t>(face * racks_joined);
+  if (!bank.reserve(ports))
+    return Err("OCS bank exhausted: need " + std::to_string(ports) + " ports, have " +
+               std::to_string(bank.ports_free()));
+  const Duration latency = bank.reconfigure();
+
+  ClusterConfig joined = base;
+  joined.racks = 1;
+  joined.rack_shape.extent[join_dim] =
+      base.rack_shape[join_dim] * racks_joined;
+  return JoinedTorus{joined, racks_joined, join_dim, base.rack_shape[join_dim], ports,
+                     latency};
+}
+
+JoinedTorus::JoinedTorus(ClusterConfig joined_config, std::int32_t racks_joined,
+                         std::size_t join_dim, std::int32_t base_extent,
+                         std::uint32_t ports, Duration latency)
+    : cluster_{joined_config},
+      racks_joined_{racks_joined},
+      join_dim_{join_dim},
+      base_extent_{base_extent},
+      ports_used_{ports},
+      join_latency_{latency} {}
+
+RackId JoinedTorus::physical_rack(Coord joined) const {
+  return joined[join_dim_] / base_extent_;
+}
+
+bool JoinedTorus::is_ocs_link(const DirectedLink& link) const {
+  const Coord from = cluster_.coord_of(link.chip);
+  if (link.dim != join_dim_) {
+    // Perpendicular dims keep their per-rack wraparound through the rack's
+    // own face OCSes.
+    return cluster_.is_wraparound(link);
+  }
+  const Coord to = cluster_.coord_of(cluster_.link_target(link));
+  return physical_rack(from) != physical_rack(to);
+}
+
+}  // namespace lp::topo

@@ -1,0 +1,66 @@
+// Multi-rack joined tori.
+//
+// Reconfiguring the face OCSes joins k racks along one dimension into a
+// single larger 3D torus (Figure 5a: "the optical circuit switches can be
+// programmed to directly connect multiple racks or cubes together into
+// larger tori").  Because the result *is* a torus, JoinedTorus represents
+// it as a TpuCluster with the scaled shape, so every slice/ring/congestion
+// tool in the library applies unchanged; what this class adds is the
+// physical bookkeeping — which logical links are OCS-realized, which
+// physical rack a coordinate lives in, and the OCS port/reconfiguration
+// cost of the join.
+#pragma once
+
+#include <cstdint>
+
+#include "topo/cluster.hpp"
+#include "topo/ocs.hpp"
+#include "util/result.hpp"
+
+namespace lp::topo {
+
+class JoinedTorus {
+ public:
+  /// Joins `racks_joined` racks of `base` shape along `join_dim`.
+  /// Consumes OCS ports from `bank`: one port pair per face link of each
+  /// inter-rack seam plus the wraparound seam.
+  static Result<JoinedTorus> join(ClusterConfig base, std::int32_t racks_joined,
+                                  std::size_t join_dim, OcsBank& bank);
+
+  /// The joined topology as a regular cluster (1 logical "rack" of the
+  /// scaled shape) — allocate slices, build rings, analyze congestion on
+  /// this directly.
+  [[nodiscard]] TpuCluster& cluster() { return cluster_; }
+  [[nodiscard]] const TpuCluster& cluster() const { return cluster_; }
+
+  [[nodiscard]] std::size_t join_dim() const { return join_dim_; }
+  [[nodiscard]] std::int32_t racks_joined() const { return racks_joined_; }
+  [[nodiscard]] std::int32_t base_extent() const { return base_extent_; }
+
+  /// Physical rack hosting a joined-space coordinate.
+  [[nodiscard]] RackId physical_rack(Coord joined) const;
+
+  /// Whether a directed link is realized through the OCS layer: it crosses
+  /// a rack seam (including the joined wraparound).
+  [[nodiscard]] bool is_ocs_link(const DirectedLink& link) const;
+
+  /// OCS port pairs the join consumed.
+  [[nodiscard]] std::uint32_t ocs_ports_used() const { return ports_used_; }
+
+  /// Latency of the join's OCS reconfiguration round.
+  [[nodiscard]] Duration join_latency() const { return join_latency_; }
+
+ private:
+  JoinedTorus(ClusterConfig joined_config, std::int32_t racks_joined,
+              std::size_t join_dim, std::int32_t base_extent, std::uint32_t ports,
+              Duration latency);
+
+  TpuCluster cluster_;
+  std::int32_t racks_joined_;
+  std::size_t join_dim_;
+  std::int32_t base_extent_;
+  std::uint32_t ports_used_;
+  Duration join_latency_;
+};
+
+}  // namespace lp::topo

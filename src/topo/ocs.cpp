@@ -1,0 +1,23 @@
+#include "topo/ocs.hpp"
+
+#include <algorithm>
+
+namespace lp::topo {
+
+OcsBank::OcsBank(OcsParams params, std::uint32_t switch_count)
+    : params_{params}, switch_count_{switch_count} {}
+
+bool OcsBank::reserve(std::uint32_t n) {
+  if (ports_free() < n) return false;
+  used_ += n;
+  return true;
+}
+
+void OcsBank::release(std::uint32_t n) { used_ -= std::min(n, used_); }
+
+Duration OcsBank::reconfigure() {
+  ++reconfigs_;
+  return params_.reconfig;
+}
+
+}  // namespace lp::topo

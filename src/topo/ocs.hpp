@@ -1,0 +1,54 @@
+// Optical circuit switches (OCSes) joining TPU racks into larger tori.
+//
+// "TPUs on every face of the cube are connected to OCSes which can be
+// reconfigured to build larger 3D tori with multiple cubes" (Figure 5a,
+// [23]).  The OCS layer tracks port usage and reconfiguration cost for
+// joining racks; the joined topology itself is modelled by JoinedTorus
+// (multirack.hpp), which produces a larger torus whose boundary-crossing
+// and wraparound links are OCS-realized.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace lp::topo {
+
+struct OcsParams {
+  /// Ports per OCS (Google's deployments use 136-port 3D-MEMS units).
+  std::uint32_t ports{136};
+  /// MEMS mirror reconfiguration time — milliseconds, versus LIGHTPATH's
+  /// microseconds; the contrast the paper's blast-radius argument rides on.
+  Duration reconfig{Duration::millis(10.0)};
+  /// Insertion loss per OCS traversal.
+  Decibel insertion_loss{Decibel::db(2.0)};
+};
+
+/// Port accounting for the OCS bank serving one torus dimension.
+class OcsBank {
+ public:
+  explicit OcsBank(OcsParams params = {}, std::uint32_t switch_count = 16);
+
+  [[nodiscard]] const OcsParams& params() const { return params_; }
+  [[nodiscard]] std::uint32_t total_ports() const { return switch_count_ * params_.ports; }
+  [[nodiscard]] std::uint32_t ports_used() const { return used_; }
+  [[nodiscard]] std::uint32_t ports_free() const { return total_ports() - used_; }
+
+  /// Reserve `n` port pairs for a rack-to-rack join; false on shortage.
+  bool reserve(std::uint32_t n);
+  void release(std::uint32_t n);
+
+  /// Number of reconfiguration rounds performed.
+  [[nodiscard]] std::uint64_t reconfigurations() const { return reconfigs_; }
+  /// Account one reconfiguration round (all mirrors move in parallel) and
+  /// return its latency.
+  Duration reconfigure();
+
+ private:
+  OcsParams params_;
+  std::uint32_t switch_count_;
+  std::uint32_t used_{0};
+  std::uint64_t reconfigs_{0};
+};
+
+}  // namespace lp::topo

@@ -1,0 +1,124 @@
+#include "topo/slice.hpp"
+
+#include <string>
+
+namespace lp::topo {
+
+bool Slice::contains(Coord rack_coord) const {
+  for (std::size_t d = 0; d < kDims; ++d) {
+    const std::int32_t rel = rack_coord[d] - offset[d];
+    if (rel < 0 || rel >= shape[d]) return false;
+  }
+  return true;
+}
+
+std::vector<Coord> Slice::coords() const {
+  std::vector<Coord> out;
+  out.reserve(static_cast<std::size_t>(shape.size()));
+  const Torus local{shape};
+  for (std::int32_t i = 0; i < shape.size(); ++i) {
+    Coord c = local.coord(i);
+    for (std::size_t d = 0; d < kDims; ++d) c[d] += offset[d];
+    out.push_back(c);
+  }
+  return out;
+}
+
+bool Slice::spans_dimension(std::size_t d, const Shape& rack_shape) const {
+  return shape[d] == rack_shape[d];
+}
+
+SliceAllocator::SliceAllocator(TpuCluster& cluster)
+    : cluster_{cluster},
+      owner_(static_cast<std::size_t>(cluster.chip_count()), -1) {}
+
+Result<SliceId> SliceAllocator::allocate_at(RackId rack, Coord offset, Shape shape) {
+  const Shape& rs = cluster_.config().rack_shape;
+  for (std::size_t d = 0; d < kDims; ++d) {
+    if (offset[d] < 0 || offset[d] + shape[d] > rs[d])
+      return Err("slice does not fit in rack along dim " + std::to_string(d));
+  }
+  Slice s;
+  s.rack = rack;
+  s.offset = offset;
+  s.shape = shape;
+  for (Coord c : s.coords()) {
+    const TpuId chip = cluster_.chip_at(rack, c);
+    if (cluster_.state(chip) != ChipState::kFree)
+      return Err("chip " + std::to_string(chip) + " is not free");
+  }
+  s.id = static_cast<SliceId>(slices_.size());
+  for (Coord c : s.coords()) {
+    const TpuId chip = cluster_.chip_at(rack, c);
+    cluster_.set_state(chip, ChipState::kAllocated);
+    owner_[static_cast<std::size_t>(chip)] = s.id;
+  }
+  slices_.push_back(s);
+  live_.push_back(true);
+  return s.id;
+}
+
+Result<SliceId> SliceAllocator::allocate(Shape shape) {
+  const Shape& rs = cluster_.config().rack_shape;
+  for (RackId rack = 0; rack < cluster_.rack_count(); ++rack) {
+    for (std::int32_t x = 0; x + shape[0] <= rs[0]; ++x) {
+      for (std::int32_t y = 0; y + shape[1] <= rs[1]; ++y) {
+        for (std::int32_t z = 0; z + shape[2] <= rs[2]; ++z) {
+          auto attempt = allocate_at(rack, Coord{{x, y, z}}, shape);
+          if (attempt) return attempt;
+        }
+      }
+    }
+  }
+  return Err("no free region of the requested shape in any rack");
+}
+
+void SliceAllocator::release(SliceId id) {
+  if (id < 0 || static_cast<std::size_t>(id) >= slices_.size() ||
+      !live_[static_cast<std::size_t>(id)])
+    return;
+  const Slice& s = slices_[static_cast<std::size_t>(id)];
+  for (Coord c : s.coords()) {
+    const TpuId chip = cluster_.chip_at(s.rack, c);
+    // A failed chip stays failed when its slice goes away.
+    if (cluster_.state(chip) == ChipState::kAllocated)
+      cluster_.set_state(chip, ChipState::kFree);
+    owner_[static_cast<std::size_t>(chip)] = -1;
+  }
+  live_[static_cast<std::size_t>(id)] = false;
+}
+
+const Slice* SliceAllocator::slice(SliceId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= slices_.size() ||
+      !live_[static_cast<std::size_t>(id)])
+    return nullptr;
+  return &slices_[static_cast<std::size_t>(id)];
+}
+
+std::vector<SliceId> SliceAllocator::active_slices() const {
+  std::vector<SliceId> out;
+  for (std::size_t i = 0; i < slices_.size(); ++i) {
+    if (live_[i]) out.push_back(static_cast<SliceId>(i));
+  }
+  return out;
+}
+
+std::optional<SliceId> SliceAllocator::owner(TpuId chip) const {
+  const std::int32_t o = owner_[static_cast<std::size_t>(chip)];
+  if (o < 0) return std::nullopt;
+  return o;
+}
+
+Result<Figure5Packing> pack_figure5(SliceAllocator& alloc, RackId rack) {
+  auto s4 = alloc.allocate_at(rack, Coord{{0, 0, 0}}, Shape{{4, 4, 2}});
+  if (!s4) return Err("slice4: " + s4.error().message);
+  auto s3 = alloc.allocate_at(rack, Coord{{0, 0, 2}}, Shape{{4, 4, 1}});
+  if (!s3) return Err("slice3: " + s3.error().message);
+  auto s1 = alloc.allocate_at(rack, Coord{{0, 0, 3}}, Shape{{4, 2, 1}});
+  if (!s1) return Err("slice1: " + s1.error().message);
+  auto s2 = alloc.allocate_at(rack, Coord{{0, 2, 3}}, Shape{{4, 2, 1}});
+  if (!s2) return Err("slice2: " + s2.error().message);
+  return Figure5Packing{s1.value(), s2.value(), s3.value(), s4.value()};
+}
+
+}  // namespace lp::topo

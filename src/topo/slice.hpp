@@ -1,0 +1,82 @@
+// Slices: sub-tori of a rack allocated to one tenant.
+//
+// "A slice consists of a subset of TPU chips allocated to a single cloud
+// tenant.  Typically, slices can only be allocated in regular shapes,
+// forming tori of specific dimensions" (§4.1).  The Figure 5b/5c scenario
+// packs one rack with Slice-1 (4x2x1), Slice-2 (4x2x1), Slice-3 (4x4x1) and
+// Slice-4 (4x4x2); helpers below construct exactly that packing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "topo/cluster.hpp"
+#include "topo/torus.hpp"
+#include "util/result.hpp"
+
+namespace lp::topo {
+
+using SliceId = std::int32_t;
+
+struct Slice {
+  SliceId id{-1};
+  RackId rack{0};
+  Coord offset{};  ///< lowest-corner coordinate within the rack
+  Shape shape{};
+
+  [[nodiscard]] std::int32_t chip_count() const { return shape.size(); }
+
+  /// True if the rack-space coordinate lies inside this slice.
+  [[nodiscard]] bool contains(Coord rack_coord) const;
+
+  /// All rack-space coordinates of the slice, row-major over its shape.
+  [[nodiscard]] std::vector<Coord> coords() const;
+
+  /// Whether the slice spans the full rack extent in dimension `d` — the
+  /// precondition for running a congestion-free direction-uniform ring in
+  /// that dimension on the electrical torus.
+  [[nodiscard]] bool spans_dimension(std::size_t d, const Shape& rack_shape) const;
+};
+
+/// Tracks slice placement within a cluster and answers "who owns chip X".
+class SliceAllocator {
+ public:
+  explicit SliceAllocator(TpuCluster& cluster);
+
+  /// Place a slice at an explicit offset (used to reconstruct the paper's
+  /// figures).  Fails if any covered chip is not free.
+  Result<SliceId> allocate_at(RackId rack, Coord offset, Shape shape);
+
+  /// First-fit scan over all racks and offsets.
+  Result<SliceId> allocate(Shape shape);
+
+  /// Release a slice, freeing its chips.  Idempotent.
+  void release(SliceId id);
+
+  [[nodiscard]] const Slice* slice(SliceId id) const;
+  [[nodiscard]] std::vector<SliceId> active_slices() const;
+
+  /// Owning slice of a chip, or nullopt if free/failed/unowned.
+  [[nodiscard]] std::optional<SliceId> owner(TpuId chip) const;
+
+  [[nodiscard]] TpuCluster& cluster() { return cluster_; }
+  [[nodiscard]] const TpuCluster& cluster() const { return cluster_; }
+
+ private:
+  TpuCluster& cluster_;
+  std::vector<Slice> slices_;
+  std::vector<bool> live_;
+  std::vector<std::int32_t> owner_;  ///< per chip, -1 = none
+};
+
+/// Builds the exact rack packing of Figure 5b/5c on rack 0 of `alloc`:
+/// Slice-4 (4x4x2) at z in {0,1}, Slice-3 (4x4x1) at z=2, Slice-1 (4x2x1)
+/// at y in {0,1}, z=3 and Slice-2 (4x2x1) at y in {2,3}, z=3.
+/// Returns ids in paper order: {slice1, slice2, slice3, slice4}.
+struct Figure5Packing {
+  SliceId slice1, slice2, slice3, slice4;
+};
+[[nodiscard]] Result<Figure5Packing> pack_figure5(SliceAllocator& alloc, RackId rack = 0);
+
+}  // namespace lp::topo

@@ -1,0 +1,37 @@
+#include "topo/switched.hpp"
+
+#include <algorithm>
+
+namespace lp::topo {
+
+SwitchedServer::SwitchedServer(SwitchedServerParams params) : params_{params} {}
+
+Bandwidth SwitchedServer::effective_flow_rate(std::size_t flows,
+                                              Bandwidth background) const {
+  if (flows == 0) return Bandwidth::zero();
+  Bandwidth core_left = params_.aggregate_bandwidth - background;
+  if (core_left < Bandwidth::zero()) core_left = Bandwidth::zero();
+  const Bandwidth core_share = core_left / static_cast<double>(flows);
+  return std::min(params_.port_bandwidth, core_share);
+}
+
+Duration SwitchedServer::ring_collective_beta(DataSize n, std::uint32_t p,
+                                              Bandwidth background) const {
+  if (p < 2) return Duration::zero();
+  const Bandwidth rate = effective_flow_rate(p, background);
+  if (rate.is_zero()) return Duration::infinite();
+  // (p-1) steps, each moving n/p per chip at `rate`.
+  const DataSize per_chip = n * (static_cast<double>(p - 1) / static_cast<double>(p));
+  return transfer_time(per_chip, rate);
+}
+
+Duration SwitchedServer::all_to_all_beta(DataSize n, std::uint32_t p,
+                                         Bandwidth background) const {
+  if (p < 2) return Duration::zero();
+  const Bandwidth rate = effective_flow_rate(p, background);
+  if (rate.is_zero()) return Duration::infinite();
+  // Rotation schedule: p-1 rounds, each chip sends n/(p-1) per round.
+  return transfer_time(n, rate);
+}
+
+}  // namespace lp::topo

@@ -1,0 +1,61 @@
+// Switched multi-accelerator server baseline (NVSwitch-class).
+//
+// §1 contrasts photonics against *two* electrical designs.  Besides the
+// direct-connect torus, there is the switched server: every accelerator
+// hangs off an ideal "big switch".  The paper's critique: per-port
+// bandwidth is already massive (>300 GB/s one direction), "making it
+// harder to stay true to the ideal switch abstraction.  This has resulted
+// in evidence of contention in switched server-scale interconnects".
+//
+// Model: each of `ports` accelerators has full-duplex port_bandwidth, but
+// the switch core only sustains aggregate_bandwidth (an effective bisection
+// after scheduling/host-congestion losses, the [4]/[42] effect).  Flows get
+// min(port share, fair share of what the core has left after background
+// tenants).  Collectives on the switch are single-stage (any permutation is
+// one hop), so a ring AllReduce is port-bound when the server is quiet and
+// core-bound when it is shared — exactly the regime where dedicated
+// photonic circuits keep their bandwidth.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace lp::topo {
+
+struct SwitchedServerParams {
+  std::uint32_t ports{8};
+  /// Per-accelerator port bandwidth (one direction).
+  Bandwidth port_bandwidth{Bandwidth::gBps(450.0)};
+  /// Sustained switch-core bandwidth across all ports; below
+  /// ports x port_bandwidth because the ideal abstraction leaks.
+  Bandwidth aggregate_bandwidth{Bandwidth::gBps(450.0 * 8.0 * 0.75)};
+  /// Per-message switch traversal latency (charged like alpha).
+  Duration port_latency{Duration::micros(0.5)};
+};
+
+class SwitchedServer {
+ public:
+  explicit SwitchedServer(SwitchedServerParams params = {});
+
+  [[nodiscard]] const SwitchedServerParams& params() const { return params_; }
+
+  /// Rate one flow gets when `flows` flows are active and `background`
+  /// bandwidth of other tenants' traffic crosses the core.
+  [[nodiscard]] Bandwidth effective_flow_rate(std::size_t flows,
+                                              Bandwidth background) const;
+
+  /// Beta time of a p-chip ring ReduceScatter/AllGather of buffer n:
+  /// p simultaneous single-hop flows per step, p-1 steps.
+  [[nodiscard]] Duration ring_collective_beta(DataSize n, std::uint32_t p,
+                                              Bandwidth background) const;
+
+  /// Beta time of the rotation all-to-all of total per-chip volume n.
+  [[nodiscard]] Duration all_to_all_beta(DataSize n, std::uint32_t p,
+                                         Bandwidth background) const;
+
+ private:
+  SwitchedServerParams params_;
+};
+
+}  // namespace lp::topo

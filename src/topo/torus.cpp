@@ -1,0 +1,24 @@
+#include "topo/torus.hpp"
+
+namespace lp::topo {
+
+std::vector<Coord> Torus::ring_through(Coord c, std::size_t d) const {
+  std::vector<Coord> ring;
+  const std::int32_t e = shape_[d];
+  ring.reserve(static_cast<std::size_t>(e));
+  Coord at = c;
+  for (std::int32_t i = 0; i < e; ++i) {
+    ring.push_back(at);
+    at = neighbor(at, d, +1);
+  }
+  return ring;
+}
+
+std::vector<Coord> Torus::all_coords() const {
+  std::vector<Coord> coords;
+  coords.reserve(static_cast<std::size_t>(size()));
+  for (std::int32_t i = 0; i < size(); ++i) coords.push_back(coord(i));
+  return coords;
+}
+
+}  // namespace lp::topo

@@ -1,0 +1,80 @@
+// 3-dimensional torus geometry.
+//
+// Google's TPUv4 racks arrange 64 chips as a 4x4x4 3D torus (paper §4,
+// Figure 5a); larger deployments join racks into bigger tori through
+// optical circuit switches.  This header provides the coordinate algebra
+// used by the cluster model, the slice allocator and the collective
+// schedule builders.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <vector>
+
+namespace lp::topo {
+
+inline constexpr std::size_t kDims = 3;
+
+/// Extents of a torus (or of a slice sub-torus) in X, Y, Z.
+struct Shape {
+  std::array<std::int32_t, kDims> extent{1, 1, 1};
+
+  [[nodiscard]] constexpr std::int32_t operator[](std::size_t d) const { return extent[d]; }
+  [[nodiscard]] constexpr std::int32_t size() const {
+    return extent[0] * extent[1] * extent[2];
+  }
+  friend constexpr auto operator<=>(const Shape&, const Shape&) = default;
+};
+
+/// A coordinate within a torus.
+struct Coord {
+  std::array<std::int32_t, kDims> c{0, 0, 0};
+
+  [[nodiscard]] constexpr std::int32_t operator[](std::size_t d) const { return c[d]; }
+  [[nodiscard]] constexpr std::int32_t& operator[](std::size_t d) { return c[d]; }
+  friend constexpr auto operator<=>(const Coord&, const Coord&) = default;
+};
+
+/// Row-major linearization helpers over a Shape.
+class Torus {
+ public:
+  explicit constexpr Torus(Shape shape) : shape_{shape} {}
+
+  [[nodiscard]] constexpr Shape shape() const { return shape_; }
+  [[nodiscard]] constexpr std::int32_t size() const { return shape_.size(); }
+
+  [[nodiscard]] constexpr std::int32_t index(Coord c) const {
+    return (c[0] * shape_[1] + c[1]) * shape_[2] + c[2];
+  }
+
+  [[nodiscard]] constexpr Coord coord(std::int32_t index) const {
+    Coord c;
+    c[2] = index % shape_[2];
+    index /= shape_[2];
+    c[1] = index % shape_[1];
+    c[0] = index / shape_[1];
+    return c;
+  }
+
+  /// Neighbor one step along dimension `d` (step = +1 or -1), with torus
+  /// wraparound.
+  [[nodiscard]] constexpr Coord neighbor(Coord c, std::size_t d, std::int32_t step) const {
+    Coord n = c;
+    const std::int32_t e = shape_[d];
+    n[d] = ((c[d] + step) % e + e) % e;
+    return n;
+  }
+
+  /// The full cycle of coordinates along dimension `d` through `c`,
+  /// starting at `c` and walking in the +d direction.
+  [[nodiscard]] std::vector<Coord> ring_through(Coord c, std::size_t d) const;
+
+  /// All coordinates of the torus in index order.
+  [[nodiscard]] std::vector<Coord> all_coords() const;
+
+ private:
+  Shape shape_;
+};
+
+}  // namespace lp::topo

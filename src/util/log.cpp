@@ -1,0 +1,33 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+namespace lp {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+constexpr const char* prefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void log_line(LogLevel level, std::string_view message) {
+  std::fprintf(stderr, "[%s] %.*s\n", prefix(level),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace lp

@@ -1,0 +1,63 @@
+// Lightweight leveled logger.  Benchmarks and examples use it for progress
+// lines; the library itself logs only at debug level so simulation runs are
+// quiet by default.  printf-style formatting (the toolchain predates
+// std::format support).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace lp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Writes a pre-formatted line to stderr with a level prefix.
+void log_line(LogLevel level, std::string_view message);
+
+namespace detail {
+
+template <typename... Args>
+std::string format_message(const char* fmt, Args&&... args) {
+  if constexpr (sizeof...(Args) == 0) {
+    return std::string{fmt};
+  } else {
+    const int needed = std::snprintf(nullptr, 0, fmt, args...);
+    if (needed <= 0) return std::string{fmt};
+    std::string out(static_cast<std::size_t>(needed), '\0');
+    std::snprintf(out.data(), out.size() + 1, fmt, args...);
+    return out;
+  }
+}
+
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const char* fmt, Args&&... args) {
+  if (log_level() <= LogLevel::kDebug)
+    log_line(LogLevel::kDebug, detail::format_message(fmt, std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_info(const char* fmt, Args&&... args) {
+  if (log_level() <= LogLevel::kInfo)
+    log_line(LogLevel::kInfo, detail::format_message(fmt, std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_warn(const char* fmt, Args&&... args) {
+  if (log_level() <= LogLevel::kWarn)
+    log_line(LogLevel::kWarn, detail::format_message(fmt, std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_error(const char* fmt, Args&&... args) {
+  if (log_level() <= LogLevel::kError)
+    log_line(LogLevel::kError, detail::format_message(fmt, std::forward<Args>(args)...));
+}
+
+}  // namespace lp

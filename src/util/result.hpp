@@ -1,0 +1,55 @@
+// Minimal expected-style result type for planner/router APIs.
+//
+// Planning failures (no free lane, no spare chip, infeasible demand) are
+// expected outcomes that callers branch on, not exceptional conditions, so
+// those APIs return Result<T> instead of throwing.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace lp {
+
+/// Describes why a planning operation could not be satisfied.
+struct Error {
+  std::string message;
+};
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_{std::move(value)} {}          // NOLINT(google-explicit-constructor)
+  Result(Error error) : v_{std::move(error)} {}      // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(v_);
+  }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+/// Convenience constructor: Err("no free lane on edge {}", ...) callers just
+/// build the message inline.
+[[nodiscard]] inline Error Err(std::string message) { return Error{std::move(message)}; }
+
+}  // namespace lp

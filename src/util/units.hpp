@@ -1,0 +1,237 @@
+// Strong unit types used throughout the simulator.
+//
+// The physical-layer and cost-model code mixes quantities (seconds, bits per
+// second, bytes, decibels, milliwatts) whose accidental interchange is the
+// classic source of silent simulation bugs.  Every public API in this
+// repository therefore traffics in the strong types below instead of bare
+// doubles.  All types are trivially copyable value types with constexpr
+// arithmetic, so they cost nothing at runtime.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <limits>
+
+namespace lp {
+
+/// A span of simulated time.  Internally stored as double seconds, which
+/// gives ~femtosecond resolution over the microsecond-to-second horizons the
+/// simulator cares about.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  [[nodiscard]] static constexpr Duration seconds(double s) { return Duration{s}; }
+  [[nodiscard]] static constexpr Duration millis(double ms) { return Duration{ms * 1e-3}; }
+  [[nodiscard]] static constexpr Duration micros(double us) { return Duration{us * 1e-6}; }
+  [[nodiscard]] static constexpr Duration nanos(double ns) { return Duration{ns * 1e-9}; }
+  [[nodiscard]] static constexpr Duration zero() { return Duration{0.0}; }
+  [[nodiscard]] static constexpr Duration infinite() {
+    return Duration{std::numeric_limits<double>::infinity()};
+  }
+
+  [[nodiscard]] constexpr double to_seconds() const { return s_; }
+  [[nodiscard]] constexpr double to_millis() const { return s_ * 1e3; }
+  [[nodiscard]] constexpr double to_micros() const { return s_ * 1e6; }
+  [[nodiscard]] constexpr double to_nanos() const { return s_ * 1e9; }
+
+  [[nodiscard]] constexpr bool is_finite() const { return std::isfinite(s_); }
+
+  constexpr Duration& operator+=(Duration o) { s_ += o.s_; return *this; }
+  constexpr Duration& operator-=(Duration o) { s_ -= o.s_; return *this; }
+  constexpr Duration& operator*=(double k) { s_ *= k; return *this; }
+
+  friend constexpr Duration operator+(Duration a, Duration b) { return Duration{a.s_ + b.s_}; }
+  friend constexpr Duration operator-(Duration a, Duration b) { return Duration{a.s_ - b.s_}; }
+  friend constexpr Duration operator*(Duration a, double k) { return Duration{a.s_ * k}; }
+  friend constexpr Duration operator*(double k, Duration a) { return Duration{a.s_ * k}; }
+  friend constexpr Duration operator/(Duration a, double k) { return Duration{a.s_ / k}; }
+  friend constexpr double operator/(Duration a, Duration b) { return a.s_ / b.s_; }
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+ private:
+  explicit constexpr Duration(double s) : s_{s} {}
+  double s_{0.0};
+};
+
+/// A point in simulated time (seconds since simulation start).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  [[nodiscard]] static constexpr TimePoint at_seconds(double s) { return TimePoint{s}; }
+  [[nodiscard]] constexpr double to_seconds() const { return s_; }
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) {
+    return TimePoint{t.s_ + d.to_seconds()};
+  }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return Duration::seconds(a.s_ - b.s_);
+  }
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+
+ private:
+  explicit constexpr TimePoint(double s) : s_{s} {}
+  double s_{0.0};
+};
+
+/// A quantity of data.  Stored as double bytes: collective-cost math divides
+/// buffers into fractional shards, and exact integer byte counts are never
+/// load-bearing in the model.
+class DataSize {
+ public:
+  constexpr DataSize() = default;
+
+  [[nodiscard]] static constexpr DataSize bytes(double b) { return DataSize{b}; }
+  [[nodiscard]] static constexpr DataSize kib(double k) { return DataSize{k * 1024.0}; }
+  [[nodiscard]] static constexpr DataSize mib(double m) { return DataSize{m * 1024.0 * 1024.0}; }
+  [[nodiscard]] static constexpr DataSize gib(double g) {
+    return DataSize{g * 1024.0 * 1024.0 * 1024.0};
+  }
+  [[nodiscard]] static constexpr DataSize zero() { return DataSize{0.0}; }
+
+  [[nodiscard]] constexpr double to_bytes() const { return b_; }
+  [[nodiscard]] constexpr double to_bits() const { return b_ * 8.0; }
+  [[nodiscard]] constexpr double to_mib() const { return b_ / (1024.0 * 1024.0); }
+
+  constexpr DataSize& operator+=(DataSize o) { b_ += o.b_; return *this; }
+  constexpr DataSize& operator-=(DataSize o) { b_ -= o.b_; return *this; }
+
+  friend constexpr DataSize operator+(DataSize a, DataSize b) { return DataSize{a.b_ + b.b_}; }
+  friend constexpr DataSize operator-(DataSize a, DataSize b) { return DataSize{a.b_ - b.b_}; }
+  friend constexpr DataSize operator*(DataSize a, double k) { return DataSize{a.b_ * k}; }
+  friend constexpr DataSize operator*(double k, DataSize a) { return DataSize{a.b_ * k}; }
+  friend constexpr DataSize operator/(DataSize a, double k) { return DataSize{a.b_ / k}; }
+  friend constexpr double operator/(DataSize a, DataSize b) { return a.b_ / b.b_; }
+  friend constexpr auto operator<=>(DataSize, DataSize) = default;
+
+ private:
+  explicit constexpr DataSize(double b) : b_{b} {}
+  double b_{0.0};
+};
+
+/// Link or port bandwidth.  Stored as bits per second.
+class Bandwidth {
+ public:
+  constexpr Bandwidth() = default;
+
+  [[nodiscard]] static constexpr Bandwidth bps(double b) { return Bandwidth{b}; }
+  [[nodiscard]] static constexpr Bandwidth gbps(double g) { return Bandwidth{g * 1e9}; }
+  [[nodiscard]] static constexpr Bandwidth gBps(double gB) { return Bandwidth{gB * 8e9}; }
+  [[nodiscard]] static constexpr Bandwidth zero() { return Bandwidth{0.0}; }
+
+  [[nodiscard]] constexpr double to_bps() const { return bps_; }
+  [[nodiscard]] constexpr double to_gbps() const { return bps_ / 1e9; }
+  [[nodiscard]] constexpr double to_gBps() const { return bps_ / 8e9; }
+
+  [[nodiscard]] constexpr bool is_zero() const { return bps_ <= 0.0; }
+
+  constexpr Bandwidth& operator+=(Bandwidth o) { bps_ += o.bps_; return *this; }
+  constexpr Bandwidth& operator-=(Bandwidth o) { bps_ -= o.bps_; return *this; }
+
+  friend constexpr Bandwidth operator+(Bandwidth a, Bandwidth b) { return Bandwidth{a.bps_ + b.bps_}; }
+  friend constexpr Bandwidth operator-(Bandwidth a, Bandwidth b) { return Bandwidth{a.bps_ - b.bps_}; }
+  friend constexpr Bandwidth operator*(Bandwidth a, double k) { return Bandwidth{a.bps_ * k}; }
+  friend constexpr Bandwidth operator*(double k, Bandwidth a) { return Bandwidth{a.bps_ * k}; }
+  friend constexpr Bandwidth operator/(Bandwidth a, double k) { return Bandwidth{a.bps_ / k}; }
+  friend constexpr double operator/(Bandwidth a, Bandwidth b) { return a.bps_ / b.bps_; }
+  friend constexpr auto operator<=>(Bandwidth, Bandwidth) = default;
+
+ private:
+  explicit constexpr Bandwidth(double b) : bps_{b} {}
+  double bps_{0.0};
+};
+
+/// Transmission time of `size` at `rate`.
+[[nodiscard]] constexpr Duration transfer_time(DataSize size, Bandwidth rate) {
+  return Duration::seconds(size.to_bits() / rate.to_bps());
+}
+
+/// Data moved in `d` at `rate`.
+[[nodiscard]] constexpr DataSize data_at(Bandwidth rate, Duration d) {
+  return DataSize::bytes(rate.to_bps() * d.to_seconds() / 8.0);
+}
+
+/// A dimensionless power ratio expressed in decibels.  Losses are positive
+/// dB values (a 0.25 dB crossing loss attenuates by 0.25 dB).
+class Decibel {
+ public:
+  constexpr Decibel() = default;
+  [[nodiscard]] static constexpr Decibel db(double v) { return Decibel{v}; }
+  [[nodiscard]] static Decibel from_linear(double ratio) {
+    return Decibel{10.0 * std::log10(ratio)};
+  }
+  [[nodiscard]] static constexpr Decibel zero() { return Decibel{0.0}; }
+
+  [[nodiscard]] constexpr double value() const { return db_; }
+  [[nodiscard]] double to_linear() const { return std::pow(10.0, db_ / 10.0); }
+
+  constexpr Decibel& operator+=(Decibel o) { db_ += o.db_; return *this; }
+
+  friend constexpr Decibel operator+(Decibel a, Decibel b) { return Decibel{a.db_ + b.db_}; }
+  friend constexpr Decibel operator-(Decibel a, Decibel b) { return Decibel{a.db_ - b.db_}; }
+  friend constexpr Decibel operator*(Decibel a, double k) { return Decibel{a.db_ * k}; }
+  friend constexpr Decibel operator*(double k, Decibel a) { return Decibel{a.db_ * k}; }
+  friend constexpr auto operator<=>(Decibel, Decibel) = default;
+
+ private:
+  explicit constexpr Decibel(double v) : db_{v} {}
+  double db_{0.0};
+};
+
+/// Absolute optical power.  Stored as milliwatts; dBm accessors provided.
+class Power {
+ public:
+  constexpr Power() = default;
+  [[nodiscard]] static constexpr Power milliwatts(double mw) { return Power{mw}; }
+  [[nodiscard]] static Power dbm(double d) { return Power{std::pow(10.0, d / 10.0)}; }
+  [[nodiscard]] static constexpr Power zero() { return Power{0.0}; }
+
+  [[nodiscard]] constexpr double to_milliwatts() const { return mw_; }
+  [[nodiscard]] double to_dbm() const { return 10.0 * std::log10(mw_); }
+
+  /// Attenuate this power by a (positive) dB loss.
+  [[nodiscard]] Power attenuated_by(Decibel loss) const {
+    return Power{mw_ * std::pow(10.0, -loss.value() / 10.0)};
+  }
+
+  friend constexpr Power operator+(Power a, Power b) { return Power{a.mw_ + b.mw_}; }
+  friend constexpr Power operator*(Power a, double k) { return Power{a.mw_ * k}; }
+  friend constexpr Power operator/(Power a, double k) { return Power{a.mw_ / k}; }
+  friend constexpr double operator/(Power a, Power b) { return a.mw_ / b.mw_; }
+  friend constexpr auto operator<=>(Power, Power) = default;
+
+ private:
+  explicit constexpr Power(double mw) : mw_{mw} {}
+  double mw_{0.0};
+};
+
+/// Physical length on the wafer.  Stored as meters.
+class Length {
+ public:
+  constexpr Length() = default;
+  [[nodiscard]] static constexpr Length meters(double m) { return Length{m}; }
+  [[nodiscard]] static constexpr Length millimeters(double mm) { return Length{mm * 1e-3}; }
+  [[nodiscard]] static constexpr Length microns(double um) { return Length{um * 1e-6}; }
+  [[nodiscard]] static constexpr Length zero() { return Length{0.0}; }
+
+  [[nodiscard]] constexpr double to_meters() const { return m_; }
+  [[nodiscard]] constexpr double to_millimeters() const { return m_ * 1e3; }
+  [[nodiscard]] constexpr double to_microns() const { return m_ * 1e6; }
+
+  constexpr Length& operator+=(Length o) { m_ += o.m_; return *this; }
+
+  friend constexpr Length operator+(Length a, Length b) { return Length{a.m_ + b.m_}; }
+  friend constexpr Length operator-(Length a, Length b) { return Length{a.m_ - b.m_}; }
+  friend constexpr Length operator*(Length a, double k) { return Length{a.m_ * k}; }
+  friend constexpr Length operator*(double k, Length a) { return Length{a.m_ * k}; }
+  friend constexpr double operator/(Length a, Length b) { return a.m_ / b.m_; }
+  friend constexpr Length operator/(Length a, double k) { return Length{a.m_ / k}; }
+  friend constexpr auto operator<=>(Length, Length) = default;
+
+ private:
+  explicit constexpr Length(double m) : m_{m} {}
+  double m_{0.0};
+};
+
+}  // namespace lp

@@ -1,0 +1,211 @@
+// Tests of the core layer: PhotonicRack mapping, BandwidthManager
+// redirection, and the blast-radius policy comparison of §4.2.
+#include <gtest/gtest.h>
+
+#include "core/bandwidth_manager.hpp"
+#include "core/blast_radius.hpp"
+#include "core/photonic_rack.hpp"
+#include "topo/slice.hpp"
+
+namespace lp::core {
+namespace {
+
+using topo::ChipState;
+using topo::Coord;
+using topo::Shape;
+using topo::Slice;
+using topo::SliceAllocator;
+using topo::TpuCluster;
+using topo::TpuId;
+
+class RackFixture : public ::testing::Test {
+ protected:
+  TpuCluster cluster_;
+  PhotonicRack rack_{cluster_, 0};
+};
+
+TEST_F(RackFixture, ChipTileMappingRoundTrips) {
+  for (TpuId chip = 0; chip < cluster_.chips_per_rack(); ++chip) {
+    const auto tile = rack_.tile_of(chip);
+    EXPECT_EQ(rack_.chip_of(tile), chip);
+  }
+  // First 32 chips on wafer 0, rest on wafer 1.
+  EXPECT_EQ(rack_.tile_of(0).wafer, 0u);
+  EXPECT_EQ(rack_.tile_of(31).wafer, 0u);
+  EXPECT_EQ(rack_.tile_of(32).wafer, 1u);
+  EXPECT_EQ(rack_.tile_of(63).wafer, 1u);
+}
+
+TEST_F(RackFixture, MappingWorksForNonZeroRack) {
+  PhotonicRack rack3{cluster_, 3};
+  const TpuId chip = 3 * 64 + 10;
+  EXPECT_EQ(rack3.chip_of(rack3.tile_of(chip)), chip);
+}
+
+TEST_F(RackFixture, ChipBandwidthIs16Lambdas) {
+  // 16 x 224 Gbps = 3584 Gbps = 448 GB/s of steerable egress.
+  EXPECT_NEAR(rack_.chip_bandwidth().to_gbps(), 3584.0, 1e-6);
+  EXPECT_NEAR(rack_.per_wavelength_rate().to_gbps(), 224.0, 1e-9);
+}
+
+TEST_F(RackFixture, FiberBundlesAttached) {
+  EXPECT_EQ(rack_.fabric().fiber_links().size(), 8u);
+  // Cross-wafer connect works out of the box.
+  auto id = rack_.fabric().connect(rack_.tile_of(0), rack_.tile_of(63), 1);
+  EXPECT_TRUE(id.ok()) << id.error().message;
+}
+
+class BandwidthManagerFixture : public ::testing::Test {
+ protected:
+  TpuCluster cluster_;
+  PhotonicRack rack_{cluster_, 0};
+  BandwidthManager manager_{rack_};
+};
+
+TEST_F(BandwidthManagerFixture, ProvisionSlice1SnakeRing) {
+  const Slice s{0, 0, Coord{{0, 0, 3}}, Shape{{4, 2, 1}}};
+  const auto plan = coll::build_plan(s, cluster_.config().rack_shape);
+  ASSERT_EQ(plan.stages.size(), 1u);
+  auto stage = manager_.provision_stage(s, plan, 0);
+  ASSERT_TRUE(stage.ok()) << stage.error().message;
+  // One stage -> all 16 lambdas per edge: the full redirected bandwidth.
+  EXPECT_EQ(stage.value().wavelengths, 16u);
+  EXPECT_NEAR(stage.value().edge_rate.to_gbps(), 3584.0, 1e-6);
+  EXPECT_EQ(stage.value().circuits.size(), 8u);  // 8 ring edges
+  EXPECT_GT(stage.value().reconfig_latency.to_micros(), 3.5);
+  manager_.release_stage(stage.value());
+  EXPECT_EQ(rack_.fabric().active_circuits(), 0u);
+}
+
+TEST_F(BandwidthManagerFixture, ProvisionAllSlice3SplitsLambdas) {
+  const Slice s{0, 0, Coord{{0, 0, 2}}, Shape{{4, 4, 1}}};
+  const auto plan = coll::build_plan(s, cluster_.config().rack_shape);
+  ASSERT_EQ(plan.stages.size(), 2u);
+  auto stages = manager_.provision_all(s, plan);
+  ASSERT_TRUE(stages.ok()) << stages.error().message;
+  ASSERT_EQ(stages.value().size(), 2u);
+  for (const auto& st : stages.value()) {
+    EXPECT_EQ(st.wavelengths, 8u) << "16 lambdas split across 2 stages";
+    EXPECT_NEAR(st.edge_rate.to_gbps(), 8 * 224.0, 1e-6);
+    manager_.release_stage(st);
+  }
+}
+
+TEST_F(BandwidthManagerFixture, ProvisionedRateMatchesCostModel) {
+  // The cost model assumes stage bandwidth B/n_stages with B the chip's
+  // steerable bandwidth; the fabric must actually deliver that.
+  const Slice s{0, 0, Coord{{0, 0, 2}}, Shape{{4, 4, 1}}};
+  const auto plan = coll::build_plan(s, cluster_.config().rack_shape);
+  coll::CostParams params;
+  params.chip_bandwidth = rack_.chip_bandwidth();
+  auto stages = manager_.provision_all(s, plan);
+  ASSERT_TRUE(stages.ok());
+  const Bandwidth expected = params.chip_bandwidth / 2.0;
+  for (const auto& st : stages.value()) {
+    EXPECT_NEAR(st.edge_rate.to_gbps(), expected.to_gbps(), 1e-6);
+    manager_.release_stage(st);
+  }
+}
+
+TEST_F(BandwidthManagerFixture, PerStageFullUsesAllLambdas) {
+  const Slice s{0, 0, Coord{{0, 0, 2}}, Shape{{4, 4, 1}}};
+  const auto plan = coll::build_plan(s, cluster_.config().rack_shape);
+  auto stage =
+      manager_.provision_stage(s, plan, 0, coll::RedirectStrategy::kPerStageFull);
+  ASSERT_TRUE(stage.ok());
+  EXPECT_EQ(stage.value().wavelengths, 16u);
+  manager_.release_stage(stage.value());
+}
+
+class BlastRadiusFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Figure-6a-like setup: Slice-4 and Slice-3 as in Figure 5, Slice-1 at
+    // y in {0,1} z=3, and the former Slice-2 region (y in {2,3}, z=3) kept
+    // free so spares exist.
+    ASSERT_TRUE(alloc_.allocate_at(0, Coord{{0, 0, 0}}, Shape{{4, 4, 2}}).ok());
+    auto s3 = alloc_.allocate_at(0, Coord{{0, 0, 2}}, Shape{{4, 4, 1}});
+    ASSERT_TRUE(s3.ok());
+    slice3_ = s3.value();
+    ASSERT_TRUE(alloc_.allocate_at(0, Coord{{0, 0, 3}}, Shape{{4, 2, 1}}).ok());
+  }
+
+  TpuCluster cluster_;
+  SliceAllocator alloc_{cluster_};
+  topo::SliceId slice3_{-1};
+};
+
+TEST_F(BlastRadiusFixture, BrokenRingNeighborsFound) {
+  const TpuId failed = cluster_.chip_at(0, Coord{{1, 1, 2}});
+  const auto neighbors =
+      broken_ring_neighbors(cluster_, *alloc_.slice(slice3_), failed);
+  // X ring: (0,1,2) and (2,1,2); Y ring: (1,0,2) and (1,2,2).
+  EXPECT_EQ(neighbors.size(), 4u);
+  for (TpuId n : neighbors) {
+    EXPECT_EQ(alloc_.owner(n), slice3_);
+  }
+}
+
+TEST_F(BlastRadiusFixture, ElectricalRepairBlockedByAllocatedNeighborhood) {
+  // Fail a chip at y=0: its Y-ring neighbor at y=3... all free chips sit at
+  // z=3, y in {2,3}; paths from the y=0/y=1 neighbors must transit
+  // allocated chips.  Expect infeasibility (Figure 6a).
+  const TpuId failed = cluster_.chip_at(0, Coord{{1, 0, 2}});
+  const auto attempt = attempt_electrical_repair(cluster_, alloc_, failed);
+  EXPECT_FALSE(attempt.feasible)
+      << "in-place electrical repair should congest, per Figure 6a";
+}
+
+TEST_F(BlastRadiusFixture, RackMigrationBlastRadiusIsWholeRack) {
+  const TpuId failed = cluster_.chip_at(0, Coord{{1, 1, 2}});
+  const auto impact =
+      assess_failure(cluster_, alloc_, failed, FailurePolicy::kRackMigration);
+  EXPECT_TRUE(impact.feasible);
+  EXPECT_EQ(impact.blast_radius_chips, 64);
+  EXPECT_EQ(impact.jobs_interrupted, 1);
+  EXPECT_GT(impact.recovery_time.to_seconds(), 1.0);
+}
+
+TEST_F(BlastRadiusFixture, OpticalRepairShrinksBlastRadiusToServer) {
+  PhotonicRack rack{cluster_, 0};
+  const TpuId failed = cluster_.chip_at(0, Coord{{1, 1, 2}});
+  const auto impact = assess_failure(cluster_, alloc_, failed,
+                                     FailurePolicy::kOpticalRepair, {}, &rack);
+  EXPECT_TRUE(impact.feasible);
+  EXPECT_EQ(impact.blast_radius_chips, 4) << "one server, not one rack";
+  EXPECT_TRUE(impact.congestion_free);
+  EXPECT_LT(impact.recovery_time.to_millis(), 1.0)
+      << "microsecond-scale reconfiguration";
+}
+
+TEST_F(BlastRadiusFixture, OpticalRepairInfeasibleWithoutSpares) {
+  // Fill the spare region; no free chips remain.
+  ASSERT_TRUE(alloc_.allocate_at(0, Coord{{0, 2, 3}}, Shape{{4, 2, 1}}).ok());
+  PhotonicRack rack{cluster_, 0};
+  const TpuId failed = cluster_.chip_at(0, Coord{{1, 1, 2}});
+  const auto impact = assess_failure(cluster_, alloc_, failed,
+                                     FailurePolicy::kOpticalRepair, {}, &rack);
+  EXPECT_FALSE(impact.feasible);
+}
+
+TEST_F(BlastRadiusFixture, FailureMarksChipFailed) {
+  const TpuId failed = cluster_.chip_at(0, Coord{{0, 0, 0}});
+  (void)assess_failure(cluster_, alloc_, failed, FailurePolicy::kRackMigration);
+  EXPECT_EQ(cluster_.state(failed), ChipState::kFailed);
+}
+
+TEST(BlastRadius, ElectricalRepairFeasibleWhenAdjacent) {
+  // A lone small slice with plenty of free space around it: in-place
+  // electrical repair should succeed.
+  TpuCluster cluster;
+  SliceAllocator alloc{cluster};
+  const auto id = alloc.allocate_at(0, Coord{{0, 0, 0}}, Shape{{2, 2, 1}});
+  ASSERT_TRUE(id.ok());
+  const TpuId failed = cluster.chip_at(0, Coord{{0, 0, 0}});
+  const auto attempt = attempt_electrical_repair(cluster, alloc, failed);
+  EXPECT_TRUE(attempt.feasible);
+  EXPECT_GE(attempt.paths.size(), 1u);
+}
+
+}  // namespace
+}  // namespace lp::core

@@ -1,0 +1,169 @@
+// Tests for the AllGather / AllReduce / Broadcast schedules and the
+// crosstalk model.
+#include <gtest/gtest.h>
+
+#include "collective/extra_schedules.hpp"
+#include "phys/crosstalk.hpp"
+#include "phys/link_budget.hpp"
+#include "sim/flow_sim.hpp"
+#include "topo/slice.hpp"
+
+namespace lp {
+namespace {
+
+using coll::Interconnect;
+using topo::Coord;
+using topo::Shape;
+using topo::Slice;
+using topo::TpuCluster;
+
+class Schedules : public ::testing::Test {
+ protected:
+  TpuCluster cluster_;
+  coll::CostParams params_;
+  Slice slice1_{0, 0, Coord{{0, 0, 3}}, Shape{{4, 2, 1}}};
+  Slice slice3_{1, 0, Coord{{0, 0, 2}}, Shape{{4, 4, 1}}};
+  DataSize n_ = DataSize::mib(64);
+};
+
+TEST_F(Schedules, AllGatherMirrorsReduceScatter) {
+  const auto rs = coll::build_reduce_scatter_schedule(
+      cluster_, slice3_, n_, Interconnect::kElectrical, params_);
+  const auto ag = coll::build_all_gather_schedule(cluster_, slice3_, n_,
+                                                  Interconnect::kElectrical, params_);
+  EXPECT_EQ(ag.phases.size(), rs.phases.size());
+  EXPECT_NEAR(ag.total_bytes().to_bytes(), rs.total_bytes().to_bytes(), 1.0);
+  // First gather phase moves the small shards (reverse order).
+  ASSERT_FALSE(ag.phases.empty());
+  EXPECT_LT(ag.phases.front().transfers[0].bytes.to_bytes(),
+            rs.phases.front().transfers[0].bytes.to_bytes());
+}
+
+TEST_F(Schedules, AllGatherOpticalReconfigsOncePerStage) {
+  const auto ag = coll::build_all_gather_schedule(cluster_, slice3_, n_,
+                                                  Interconnect::kOptical, params_);
+  int reconfigs = 0;
+  for (const auto& p : ag.phases) {
+    if (p.pre_delay > Duration::zero()) ++reconfigs;
+  }
+  EXPECT_EQ(reconfigs, 2);
+  // And the first phase of the schedule carries one.
+  EXPECT_GT(ag.phases.front().pre_delay.to_seconds(), 0.0);
+}
+
+TEST_F(Schedules, AllReduceMeasuredMatchesAnalytic) {
+  const auto schedule = coll::build_all_reduce_schedule(
+      cluster_, slice1_, n_, Interconnect::kElectrical, params_);
+  const sim::FlowSimulator fsim{cluster_.dim_bandwidth()};
+  const auto run = fsim.run(schedule);
+  const auto plan = coll::build_plan(slice1_, cluster_.config().rack_shape);
+  const auto cost =
+      coll::all_reduce_cost(plan, n_, Interconnect::kElectrical, params_);
+  EXPECT_NEAR(run.total.to_seconds(), cost.beta_time.to_seconds(), 1e-9);
+}
+
+TEST_F(Schedules, AllReduceOpticalKeepsCircuitsUpAcrossHalves) {
+  const auto schedule = coll::build_all_reduce_schedule(
+      cluster_, slice3_, n_, Interconnect::kOptical, params_);
+  Duration reconfig = Duration::zero();
+  for (const auto& p : schedule.phases) reconfig += p.pre_delay;
+  // Two stages, circuits persist into the gather: 2 x r, not 4 x r.
+  EXPECT_NEAR(reconfig.to_micros(), 2 * 3.7, 1e-6);
+}
+
+TEST_F(Schedules, BroadcastPipelineStructure) {
+  const unsigned chunks = 4;
+  const auto schedule = coll::build_broadcast_schedule(
+      cluster_, slice1_, n_, chunks, Interconnect::kElectrical, params_);
+  // p=8 ring: p-1 + chunks-1 = 10 phases.
+  EXPECT_EQ(schedule.phases.size(), 10u);
+  // Total bytes: every non-root edge (p-1 of them) carries the whole buffer.
+  EXPECT_NEAR(schedule.total_bytes().to_bytes(), 7.0 * n_.to_bytes(), 1.0);
+  // Middle phases have multiple edges active (pipelining).
+  std::size_t peak = 0;
+  for (const auto& p : schedule.phases) peak = std::max(peak, p.transfers.size());
+  EXPECT_GE(peak, 3u);
+}
+
+TEST_F(Schedules, BroadcastPipeliningBeatsStoreAndForward) {
+  const sim::FlowSimulator fsim{cluster_.dim_bandwidth()};
+  const auto pipelined = fsim.run(coll::build_broadcast_schedule(
+      cluster_, slice1_, n_, 16, Interconnect::kElectrical, params_));
+  const auto store_fwd = fsim.run(coll::build_broadcast_schedule(
+      cluster_, slice1_, n_, 1, Interconnect::kElectrical, params_));
+  EXPECT_LT(pipelined.total.to_seconds(), store_fwd.total.to_seconds() / 2.0);
+}
+
+TEST_F(Schedules, BroadcastOpticalPaysOneReconfig) {
+  const auto schedule = coll::build_broadcast_schedule(
+      cluster_, slice1_, n_, 4, Interconnect::kOptical, params_);
+  Duration reconfig = Duration::zero();
+  for (const auto& p : schedule.phases) reconfig += p.pre_delay;
+  EXPECT_NEAR(reconfig.to_micros(), 3.7, 1e-6);
+}
+
+TEST_F(Schedules, BroadcastZeroChunksEmpty) {
+  const auto schedule = coll::build_broadcast_schedule(
+      cluster_, slice1_, n_, 0, Interconnect::kElectrical, params_);
+  EXPECT_TRUE(schedule.phases.empty());
+}
+
+// --- Crosstalk ---------------------------------------------------------------
+
+TEST(Crosstalk, AggregateScalesLinearly) {
+  const phys::CrosstalkModel model;
+  EXPECT_NEAR(model.aggregate_ratio(1), 10e-3 * 0.316, 1e-4);  // 10^-2.5
+  EXPECT_NEAR(model.aggregate_ratio(10), 10 * model.aggregate_ratio(1), 1e-12);
+}
+
+TEST(Crosstalk, PenaltiesOrdered) {
+  const phys::CrosstalkModel model;
+  for (unsigned k : {1u, 8u, 24u}) {
+    EXPECT_GT(model.incoherent_penalty(k).value(), 0.0);
+    EXPECT_GT(model.coherent_penalty(k).value(), model.incoherent_penalty(k).value())
+        << "coherent beating is the worst case";
+  }
+  EXPECT_LT(model.incoherent_penalty(24).value(), 0.5)
+      << "25 dB extinction keeps 24-switch paths under half a dB";
+}
+
+TEST(Crosstalk, PenaltyMonotoneInTraversals) {
+  const phys::CrosstalkModel model;
+  double prev = 0.0;
+  for (unsigned k = 0; k < 100; k += 10) {
+    const double p = model.incoherent_penalty(k).value();
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(Crosstalk, MaxTraversalsInvertsPenalty) {
+  const phys::CrosstalkModel model;
+  const unsigned k = model.max_traversals(Decibel::db(0.5));
+  EXPECT_LE(model.incoherent_penalty(k).value(), 0.5 + 1e-9);
+  EXPECT_GT(model.incoherent_penalty(k + 2).value(), 0.5);
+}
+
+TEST(Crosstalk, BudgetChargesIncoherentPenalty) {
+  const phys::LinkBudget budget;
+  phys::CircuitProfile with, without;
+  with.mzi_traversals = 24;
+  without.mzi_traversals = 0;
+  const auto a = budget.evaluate(with);
+  const auto b = budget.evaluate(without);
+  EXPECT_GT(a.crosstalk_penalty.value(), 0.0);
+  EXPECT_NEAR(a.crosstalk_penalty.value(),
+              phys::CrosstalkModel{}.incoherent_penalty(24).value(), 1e-12);
+  EXPECT_EQ(b.crosstalk_penalty.value(), 0.0);
+}
+
+TEST(Crosstalk, PoorExtinctionBreaksLongPaths) {
+  phys::CrosstalkParams params;
+  params.extinction = Decibel::db(10.0);  // bad switch
+  const phys::CrosstalkModel model{params};
+  EXPECT_GT(model.incoherent_penalty(9).value(), 3.0);
+  EXPECT_GE(model.coherent_penalty(25).value(), 1e8) << "closed form collapses";
+}
+
+}  // namespace
+}  // namespace lp

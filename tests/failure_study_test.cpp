@@ -1,0 +1,60 @@
+// Tests of the Monte-Carlo availability study.
+#include <gtest/gtest.h>
+
+#include "core/failure_study.hpp"
+
+namespace lp::core {
+namespace {
+
+FailureStudyParams quick_params() {
+  FailureStudyParams p;
+  p.mtbf_hours = 5000.0;  // high failure rate for test speed
+  p.horizon_hours = 24.0 * 7.0;
+  p.fleet_chips = 1024;
+  return p;
+}
+
+TEST(FailureStudy, DeterministicUnderSeed) {
+  const auto a = run_failure_study(FailurePolicy::kRackMigration, quick_params());
+  const auto b = run_failure_study(FailurePolicy::kRackMigration, quick_params());
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_DOUBLE_EQ(a.chip_hours_lost, b.chip_hours_lost);
+}
+
+TEST(FailureStudy, FailureCountNearExpectation) {
+  const auto params = quick_params();
+  const auto report = run_failure_study(FailurePolicy::kRackMigration, params);
+  const double expected =
+      params.fleet_chips / params.mtbf_hours * params.horizon_hours;  // ~34
+  EXPECT_GT(report.failures, expected * 0.5);
+  EXPECT_LT(report.failures, expected * 1.5);
+}
+
+TEST(FailureStudy, OpticalRepairBeatsMigrationOnAvailability) {
+  const auto migration =
+      run_failure_study(FailurePolicy::kRackMigration, quick_params());
+  const auto optical = run_failure_study(FailurePolicy::kOpticalRepair, quick_params());
+  EXPECT_GT(optical.availability, migration.availability);
+  EXPECT_LT(optical.chip_hours_lost, migration.chip_hours_lost / 1000.0)
+      << "microsecond repairs vs minute migrations";
+}
+
+TEST(FailureStudy, ElectricalRepairMostlyFallsBack) {
+  const auto report =
+      run_failure_study(FailurePolicy::kElectricalRepair, quick_params());
+  EXPECT_GT(report.unrecovered, report.failures / 2)
+      << "Figure 6: in-place electrical repair is usually infeasible";
+}
+
+TEST(FailureStudy, AvailabilityBounded) {
+  for (const auto policy : {FailurePolicy::kRackMigration,
+                            FailurePolicy::kElectricalRepair,
+                            FailurePolicy::kOpticalRepair}) {
+    const auto report = run_failure_study(policy, quick_params());
+    EXPECT_GE(report.availability, 0.0);
+    EXPECT_LE(report.availability, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace lp::core

@@ -1,0 +1,157 @@
+// Cross-module integration tests: the full pipeline from cluster + slices
+// through plan building, fabric provisioning, flow simulation, and
+// physical-layer validation.
+#include <gtest/gtest.h>
+
+#include "collective/congestion.hpp"
+#include "collective/schedule.hpp"
+#include "core/bandwidth_manager.hpp"
+#include "core/blast_radius.hpp"
+#include "core/photonic_rack.hpp"
+#include "routing/planner.hpp"
+#include "sim/flow_sim.hpp"
+#include "topo/slice.hpp"
+
+namespace lp {
+namespace {
+
+using topo::Coord;
+using topo::Shape;
+using topo::Slice;
+using topo::SliceAllocator;
+using topo::TpuCluster;
+using topo::TpuId;
+
+TEST(Integration, Figure5PipelineEndToEnd) {
+  // Pack the rack as in Figure 5, provision Slice-1's optical redirection,
+  // and check that the measured collective time improves by the paper's 3x
+  // while every provisioned circuit closes its link budget.
+  TpuCluster cluster;
+  SliceAllocator alloc{cluster};
+  const auto packing = topo::pack_figure5(alloc);
+  ASSERT_TRUE(packing.ok());
+  const Slice* slice1 = alloc.slice(packing.value().slice1);
+  ASSERT_NE(slice1, nullptr);
+
+  core::PhotonicRack rack{cluster, 0};
+  core::BandwidthManager manager{rack};
+  const auto plan = coll::build_plan(*slice1, cluster.config().rack_shape);
+  auto stages = manager.provision_all(*slice1, plan);
+  ASSERT_TRUE(stages.ok()) << stages.error().message;
+
+  // Every circuit the manager established must close its budget.
+  for (const auto& stage : stages.value()) {
+    for (fabric::CircuitId id : stage.circuits) {
+      const auto report = rack.fabric().circuit_budget(id);
+      EXPECT_TRUE(report.closes) << "circuit " << id << " ber " << report.pre_fec_ber;
+    }
+  }
+
+  // Measured times: electrical vs optical, with B matching the fabric.
+  coll::CostParams params;
+  params.chip_bandwidth = rack.chip_bandwidth();
+  const DataSize n = DataSize::gib(1);
+  const sim::FlowSimulator fsim{params.chip_bandwidth / 3.0};
+  const auto elec = fsim.run(coll::build_reduce_scatter_schedule(
+      cluster, *slice1, n, coll::Interconnect::kElectrical, params));
+  const auto opt = fsim.run(coll::build_reduce_scatter_schedule(
+      cluster, *slice1, n, coll::Interconnect::kOptical, params));
+  EXPECT_NEAR(elec.total.to_seconds() / opt.total.to_seconds(), 3.0, 0.05);
+
+  for (const auto& stage : stages.value()) manager.release_stage(stage);
+  EXPECT_EQ(rack.fabric().active_circuits(), 0u);
+}
+
+TEST(Integration, AllFourSlicesProvisionSimultaneously) {
+  // The whole Figure 5 rack can hold redirected circuits for all slices at
+  // once — wavelength budgets and lanes must suffice.
+  TpuCluster cluster;
+  SliceAllocator alloc{cluster};
+  const auto packing = topo::pack_figure5(alloc);
+  ASSERT_TRUE(packing.ok());
+  core::PhotonicRack rack{cluster, 0};
+  core::BandwidthManager manager{rack};
+
+  std::vector<core::StageCircuits> all;
+  for (topo::SliceId id : {packing.value().slice1, packing.value().slice2,
+                           packing.value().slice3, packing.value().slice4}) {
+    const Slice* s = alloc.slice(id);
+    ASSERT_NE(s, nullptr);
+    const auto plan = coll::build_plan(*s, cluster.config().rack_shape);
+    auto stages = manager.provision_all(*s, plan);
+    ASSERT_TRUE(stages.ok()) << "slice " << id << ": " << stages.error().message;
+    for (auto& st : stages.value()) all.push_back(std::move(st));
+  }
+  EXPECT_GT(rack.fabric().active_circuits(), 0u);
+  for (const auto& st : all) manager.release_stage(st);
+  EXPECT_EQ(rack.fabric().active_circuits(), 0u);
+}
+
+TEST(Integration, FailureStoryEndToEnd) {
+  // Figure 6a -> Figure 7: electrical repair impossible, optical repair
+  // succeeds with a 4-chip blast radius, and the repaired ring's circuits
+  // are contention-free by construction.
+  TpuCluster cluster;
+  SliceAllocator alloc{cluster};
+  ASSERT_TRUE(alloc.allocate_at(0, Coord{{0, 0, 0}}, Shape{{4, 4, 2}}).ok());
+  const auto s3 = alloc.allocate_at(0, Coord{{0, 0, 2}}, Shape{{4, 4, 1}});
+  ASSERT_TRUE(s3.ok());
+  ASSERT_TRUE(alloc.allocate_at(0, Coord{{0, 0, 3}}, Shape{{4, 2, 1}}).ok());
+
+  const TpuId failed = cluster.chip_at(0, Coord{{1, 0, 2}});
+
+  const auto elec = core::attempt_electrical_repair(cluster, alloc, failed);
+  EXPECT_FALSE(elec.feasible);
+
+  core::PhotonicRack rack{cluster, 0};
+  const auto impact = core::assess_failure(cluster, alloc, failed,
+                                           core::FailurePolicy::kOpticalRepair, {},
+                                           &rack);
+  ASSERT_TRUE(impact.feasible);
+  EXPECT_EQ(impact.blast_radius_chips, 4);
+  EXPECT_LT(impact.recovery_time.to_micros(), 100.0);
+}
+
+TEST(Integration, SteadyStateRackTrafficRunsAtFullLinkRate) {
+  // Simulate one electrical ring step of every Figure-5 slice at once: the
+  // kUsableOnly policy must show zero slowdown (peak link load 1).
+  TpuCluster cluster;
+  SliceAllocator alloc{cluster};
+  const auto packing = topo::pack_figure5(alloc);
+  ASSERT_TRUE(packing.ok());
+
+  coll::CostParams params;
+  std::vector<coll::Transfer> combined;
+  for (topo::SliceId id : {packing.value().slice1, packing.value().slice2,
+                           packing.value().slice3, packing.value().slice4}) {
+    const Slice* s = alloc.slice(id);
+    const auto schedule = coll::build_reduce_scatter_schedule(
+        cluster, *s, DataSize::mib(64), coll::Interconnect::kElectrical, params);
+    ASSERT_FALSE(schedule.phases.empty());
+    for (const auto& t : schedule.phases[0].transfers) combined.push_back(t);
+  }
+  const sim::FlowSimulator fsim{cluster.dim_bandwidth()};
+  const auto result = fsim.run_phase(combined);
+  EXPECT_EQ(result.peak_link_load, 1u)
+      << "usable-only rings of all tenants must not collide";
+}
+
+TEST(Integration, PlannerSaturatesWaferWithoutOverlap) {
+  // Place a full permutation (31 circuits) and confirm non-overlap by
+  // construction: every edge's used lanes is the sum of circuits crossing
+  // it, and nothing exceeds capacity (reserve would have failed).
+  fabric::Fabric fab;
+  routing::CircuitPlanner planner{fab};
+  std::vector<routing::Demand> demands;
+  for (fabric::TileId t = 0; t < 31; ++t) {
+    demands.push_back(
+        routing::Demand{fabric::GlobalTile{0, t}, fabric::GlobalTile{0, t + 1}, 8});
+  }
+  const auto report = planner.place_all(demands);
+  EXPECT_TRUE(report.complete());
+  planner.release_all(report);
+  EXPECT_EQ(fab.wafer(0).total_lanes_used(), 0u);
+}
+
+}  // namespace
+}  // namespace lp

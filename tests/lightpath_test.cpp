@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include "lightpath/circuit.hpp"
+#include "lightpath/fabric.hpp"
+#include "lightpath/reconfig.hpp"
+#include "lightpath/tile.hpp"
+#include "lightpath/wafer.hpp"
+
+namespace lp::fabric {
+namespace {
+
+TEST(Tile, WavelengthReservation) {
+  Tile tile;
+  EXPECT_EQ(tile.tx_free(), 16u);
+  EXPECT_TRUE(tile.reserve_tx(10));
+  EXPECT_EQ(tile.tx_free(), 6u);
+  EXPECT_FALSE(tile.reserve_tx(7));
+  EXPECT_EQ(tile.tx_free(), 6u) << "failed reservation must not consume";
+  tile.release_tx(4);
+  EXPECT_EQ(tile.tx_free(), 10u);
+  tile.release_tx(100);  // clamps
+  EXPECT_EQ(tile.tx_free(), 16u);
+}
+
+TEST(Tile, RxIndependentOfTx) {
+  Tile tile;
+  EXPECT_TRUE(tile.reserve_tx(16));
+  EXPECT_TRUE(tile.reserve_rx(16));
+  EXPECT_FALSE(tile.reserve_rx(1));
+}
+
+TEST(Tile, WaveguideDensityMatchesPaper) {
+  // 25 mm tile edge at 3 um pitch -> 8333 lanes per edge side; both axes
+  // give "over 10,000 waveguides per tile" (Figure 4).
+  const TileParams params;
+  const std::uint32_t per_edge = waveguides_per_edge(params);
+  EXPECT_GT(per_edge, 8000u);
+  EXPECT_GT(2 * per_edge, 10000u);
+}
+
+TEST(Wafer, GeometryRoundTrip) {
+  const Wafer wafer;
+  EXPECT_EQ(wafer.tile_count(), 32u);
+  for (TileId t = 0; t < wafer.tile_count(); ++t) {
+    EXPECT_EQ(wafer.tile_at(wafer.coord_of(t)), t);
+  }
+}
+
+TEST(Wafer, NeighborsRespectBoundary) {
+  const Wafer wafer;  // 4 rows x 8 cols
+  const TileId corner = wafer.tile_at(TileCoord{0, 0});
+  EXPECT_FALSE(wafer.neighbor(corner, Direction::kNorth).has_value());
+  EXPECT_FALSE(wafer.neighbor(corner, Direction::kWest).has_value());
+  ASSERT_TRUE(wafer.neighbor(corner, Direction::kEast).has_value());
+  EXPECT_EQ(*wafer.neighbor(corner, Direction::kEast), wafer.tile_at(TileCoord{0, 1}));
+  ASSERT_TRUE(wafer.neighbor(corner, Direction::kSouth).has_value());
+  EXPECT_EQ(*wafer.neighbor(corner, Direction::kSouth), wafer.tile_at(TileCoord{1, 0}));
+}
+
+TEST(Wafer, OppositeDirections) {
+  EXPECT_EQ(opposite(Direction::kNorth), Direction::kSouth);
+  EXPECT_EQ(opposite(Direction::kEast), Direction::kWest);
+  EXPECT_EQ(opposite(Direction::kWest), Direction::kEast);
+  EXPECT_EQ(opposite(Direction::kSouth), Direction::kNorth);
+}
+
+TEST(Wafer, LaneAccounting) {
+  WaferParams params;
+  params.lanes_per_edge = 10;
+  Wafer wafer{params};
+  const TileId t = wafer.tile_at(TileCoord{1, 1});
+  EXPECT_EQ(wafer.lanes_free(t, Direction::kEast), 10u);
+  EXPECT_TRUE(wafer.reserve_lanes(t, Direction::kEast, 7));
+  EXPECT_EQ(wafer.lanes_free(t, Direction::kEast), 3u);
+  EXPECT_FALSE(wafer.reserve_lanes(t, Direction::kEast, 4));
+  wafer.release_lanes(t, Direction::kEast, 7);
+  EXPECT_EQ(wafer.lanes_free(t, Direction::kEast), 10u);
+}
+
+TEST(Wafer, EdgeOffWaferHasNoLanes) {
+  const Wafer wafer;
+  const TileId corner = wafer.tile_at(TileCoord{0, 0});
+  EXPECT_EQ(wafer.lanes_free(corner, Direction::kNorth), 0u);
+  EXPECT_EQ(wafer.lanes_free(corner, Direction::kWest), 0u);
+}
+
+TEST(Wafer, ReservePathAtomicRollback) {
+  WaferParams params;
+  params.lanes_per_edge = 4;
+  Wafer wafer{params};
+  const TileId start = wafer.tile_at(TileCoord{0, 0});
+  // Exhaust the second hop's edge.
+  const TileId second = wafer.tile_at(TileCoord{0, 1});
+  EXPECT_TRUE(wafer.reserve_lanes(second, Direction::kEast, 4));
+
+  const std::vector<Direction> path{Direction::kEast, Direction::kEast};
+  const auto result = wafer.reserve_path(start, path, 1);
+  EXPECT_FALSE(result.ok());
+  // First hop must have been rolled back.
+  EXPECT_EQ(wafer.lanes_used(start, Direction::kEast), 0u);
+}
+
+TEST(Wafer, PathCapacityAndTiles) {
+  const Wafer wafer;
+  const TileId start = wafer.tile_at(TileCoord{0, 0});
+  const std::vector<Direction> path{Direction::kEast, Direction::kSouth,
+                                    Direction::kEast};
+  EXPECT_TRUE(wafer.path_has_capacity(start, path, 1));
+  const auto tiles = wafer.tiles_on_path(start, path);
+  ASSERT_EQ(tiles.size(), 4u);
+  EXPECT_EQ(tiles.front(), start);
+  EXPECT_EQ(tiles.back(), wafer.tile_at(TileCoord{1, 2}));
+}
+
+TEST(Circuit, HopAndTurnCounting) {
+  Circuit c;
+  c.segments.push_back(Circuit::Segment{
+      0, 0, {Direction::kEast, Direction::kEast, Direction::kSouth, Direction::kEast}});
+  EXPECT_EQ(c.waveguide_hop_count(), 4u);
+  EXPECT_EQ(c.turn_count(), 2u);
+  // 5 tiles on the segment + 2 turns.
+  EXPECT_EQ(c.mzis_to_program(), 7u);
+}
+
+TEST(Circuit, ProfileConventions) {
+  Circuit c;
+  c.segments.push_back(
+      Circuit::Segment{0, 0, {Direction::kEast, Direction::kEast, Direction::kSouth}});
+  const TileParams tile;
+  const phys::CircuitProfile p = profile_of(c, tile);
+  EXPECT_EQ(p.stitches, 3u);
+  EXPECT_NEAR(p.waveguide_length.to_millimeters(), 75.0, 1e-9);
+  EXPECT_EQ(p.crossings, 2u + 1u);  // 2 pass-throughs + 1 turn
+  EXPECT_EQ(p.fiber_hops, 0u);
+}
+
+TEST(Circuit, BandwidthScalesWithWavelengths) {
+  Circuit c;
+  c.wavelengths = 4;
+  EXPECT_NEAR(c.bandwidth(Bandwidth::gbps(224)).to_gbps(), 896.0, 1e-9);
+}
+
+TEST(Reconfig, DefaultLatencyNearPaperValue) {
+  const ReconfigController ctl;
+  // Settle dominates: ~3.69 us + n * 20 ns.
+  EXPECT_NEAR(ctl.batch_latency(1).to_micros(), 3.71, 0.05);
+  EXPECT_NEAR(ctl.settle_latency().to_micros(), 3.69, 0.02);
+  EXPECT_EQ(ctl.batch_latency(0), Duration::zero());
+}
+
+TEST(Reconfig, StatsAccumulate) {
+  ReconfigController ctl;
+  ctl.reconfigure(3);
+  ctl.reconfigure(5);
+  ctl.reconfigure(0);  // no-op
+  EXPECT_EQ(ctl.batches(), 2u);
+  EXPECT_EQ(ctl.mzis_programmed(), 8u);
+  EXPECT_GT(ctl.total_time().to_micros(), 7.0);
+  ctl.reset_stats();
+  EXPECT_EQ(ctl.batches(), 0u);
+}
+
+TEST(Fabric, XyRouteShape) {
+  const Wafer wafer;
+  const TileId a = wafer.tile_at(TileCoord{0, 0});
+  const TileId b = wafer.tile_at(TileCoord{3, 5});
+  const auto hops = Fabric::xy_route(wafer, a, b);
+  EXPECT_EQ(hops.size(), 8u);  // 5 east + 3 south
+  // Column moves first.
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(hops[i], Direction::kEast);
+  for (std::size_t i = 5; i < 8; ++i) EXPECT_EQ(hops[i], Direction::kSouth);
+}
+
+TEST(Fabric, ConnectAndDisconnectRestoresResources) {
+  Fabric fab;
+  const GlobalTile a{0, 0};
+  const GlobalTile b{0, 9};
+  const auto before_lanes = fab.wafer(0).total_lanes_used();
+  auto id = fab.connect(a, b, 4);
+  ASSERT_TRUE(id.ok()) << id.error().message;
+  EXPECT_EQ(fab.active_circuits(), 1u);
+  EXPECT_GT(fab.wafer(0).total_lanes_used(), before_lanes);
+  EXPECT_EQ(fab.wafer(0).tile(0).tx_used(), 4u);
+  EXPECT_EQ(fab.wafer(0).tile(9).rx_used(), 4u);
+  EXPECT_NEAR(fab.circuit_bandwidth(id.value()).to_gbps(), 4 * 224.0, 1e-6);
+
+  fab.disconnect(id.value());
+  EXPECT_EQ(fab.active_circuits(), 0u);
+  EXPECT_EQ(fab.wafer(0).total_lanes_used(), before_lanes);
+  EXPECT_EQ(fab.wafer(0).tile(0).tx_used(), 0u);
+  fab.disconnect(id.value());  // idempotent
+}
+
+TEST(Fabric, ConnectValidatesArguments) {
+  Fabric fab;
+  EXPECT_FALSE(fab.connect(GlobalTile{0, 0}, GlobalTile{0, 0}, 1).ok());
+  EXPECT_FALSE(fab.connect(GlobalTile{0, 0}, GlobalTile{0, 1}, 0).ok());
+  EXPECT_FALSE(fab.connect(GlobalTile{5, 0}, GlobalTile{0, 1}, 1).ok());
+}
+
+TEST(Fabric, TxExhaustionFailsCleanly) {
+  Fabric fab;
+  ASSERT_TRUE(fab.connect(GlobalTile{0, 0}, GlobalTile{0, 1}, 16).ok());
+  const auto second = fab.connect(GlobalTile{0, 0}, GlobalTile{0, 2}, 1);
+  EXPECT_FALSE(second.ok());
+  // Rx of tile 2 untouched.
+  EXPECT_EQ(fab.wafer(0).tile(2).rx_used(), 0u);
+}
+
+TEST(Fabric, CrossWaferNeedsFiber) {
+  FabricConfig config;
+  config.wafer_count = 2;
+  Fabric fab{config};
+  EXPECT_FALSE(fab.connect(GlobalTile{0, 7}, GlobalTile{1, 0}, 1).ok());
+
+  fab.add_fiber_link(GlobalTile{0, 7}, GlobalTile{1, 0}, 8);
+  auto id = fab.connect(GlobalTile{0, 0}, GlobalTile{1, 5}, 2);
+  ASSERT_TRUE(id.ok()) << id.error().message;
+  const Circuit* c = fab.circuit(id.value());
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->fiber_hops, 1u);
+  EXPECT_EQ(c->segments.size(), 2u);
+  EXPECT_EQ(fab.fiber_links()[0].used, 2u);
+  fab.disconnect(id.value());
+  EXPECT_EQ(fab.fiber_links()[0].used, 0u);
+}
+
+TEST(Fabric, FiberCapacityEnforced) {
+  FabricConfig config;
+  config.wafer_count = 2;
+  Fabric fab{config};
+  fab.add_fiber_link(GlobalTile{0, 7}, GlobalTile{1, 0}, 4);
+  ASSERT_TRUE(fab.connect(GlobalTile{0, 0}, GlobalTile{1, 5}, 3).ok());
+  EXPECT_FALSE(fab.connect(GlobalTile{0, 1}, GlobalTile{1, 6}, 2).ok());
+  EXPECT_TRUE(fab.connect(GlobalTile{0, 1}, GlobalTile{1, 6}, 1).ok());
+}
+
+TEST(Fabric, FiberLinkIsBidirectional) {
+  FabricConfig config;
+  config.wafer_count = 2;
+  Fabric fab{config};
+  fab.add_fiber_link(GlobalTile{0, 7}, GlobalTile{1, 0}, 8);
+  EXPECT_TRUE(fab.connect(GlobalTile{1, 5}, GlobalTile{0, 3}, 1).ok());
+}
+
+TEST(Fabric, ConnectViaValidatesPath) {
+  Fabric fab;
+  // Path not ending at destination.
+  EXPECT_FALSE(
+      fab.connect_via(GlobalTile{0, 0}, GlobalTile{0, 2}, {Direction::kEast}, 1).ok());
+  // Path off the wafer.
+  EXPECT_FALSE(
+      fab.connect_via(GlobalTile{0, 0}, GlobalTile{0, 1}, {Direction::kNorth}, 1).ok());
+  // Valid L-shaped path.
+  const auto id = fab.connect_via(
+      GlobalTile{0, 0}, GlobalTile{0, 9},
+      {Direction::kSouth, Direction::kEast}, 2);
+  ASSERT_TRUE(id.ok()) << id.error().message;
+  EXPECT_EQ(fab.circuit(id.value())->turn_count(), 1u);
+}
+
+TEST(Fabric, CircuitBudgetCloses) {
+  Fabric fab;
+  const auto id = fab.connect(GlobalTile{0, 0}, GlobalTile{0, 31}, 1);
+  ASSERT_TRUE(id.ok());
+  const auto report = fab.circuit_budget(id.value());
+  EXPECT_TRUE(report.closes) << "corner-to-corner circuit must close: ber="
+                             << report.pre_fec_ber;
+}
+
+TEST(Fabric, ReconfigAccountsBatches) {
+  Fabric fab;
+  const auto before = fab.reconfig().batches();
+  ASSERT_TRUE(fab.connect(GlobalTile{0, 0}, GlobalTile{0, 3}, 1).ok());
+  EXPECT_EQ(fab.reconfig().batches(), before + 1);
+}
+
+}  // namespace
+}  // namespace lp::fabric

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "collective/ring.hpp"
+#include "topo/cluster.hpp"
+#include "topo/slice.hpp"
+
+namespace lp::coll {
+namespace {
+
+using topo::Coord;
+using topo::Shape;
+using topo::Slice;
+using topo::TpuCluster;
+using topo::TpuId;
+
+TEST(RingsInDim, FullExtentStaysInSlice) {
+  TpuCluster cluster;
+  const Slice s{0, 0, Coord{{0, 0, 3}}, Shape{{4, 2, 1}}};
+  const auto rings = rings_in_dim(cluster, s, 0);  // X spans the rack
+  ASSERT_EQ(rings.size(), 2u);                     // one per Y row
+  for (const auto& ring : rings) {
+    EXPECT_EQ(ring.members.size(), 4u);
+    EXPECT_TRUE(ring.transit_chips.empty())
+        << "full-extent rings never forward through foreigners";
+    EXPECT_EQ(ring.links.size(), 4u);  // 4 cycle edges, 1 hop each
+    for (const auto& l : ring.links) {
+      EXPECT_EQ(l.dim, 0);
+      EXPECT_EQ(l.sign, +1);
+    }
+  }
+}
+
+TEST(RingsInDim, PartialExtentForwardsThroughForeignChips) {
+  TpuCluster cluster;
+  // Y extent 2 of 4: wrap edge walks through y=2 and y=3.
+  const Slice s{0, 0, Coord{{0, 0, 3}}, Shape{{4, 2, 1}}};
+  const auto rings = rings_in_dim(cluster, s, 1);
+  ASSERT_EQ(rings.size(), 4u);  // one per X column
+  for (const auto& ring : rings) {
+    EXPECT_EQ(ring.members.size(), 2u);
+    EXPECT_EQ(ring.transit_chips.size(), 2u) << "wrap passes y=2 and y=3";
+    EXPECT_EQ(ring.links.size(), 4u);  // 1 + 3 hops
+  }
+}
+
+TEST(RingsInDim, UnitExtentHasNoRings) {
+  TpuCluster cluster;
+  const Slice s{0, 0, Coord{{0, 0, 3}}, Shape{{4, 2, 1}}};
+  EXPECT_TRUE(rings_in_dim(cluster, s, 2).empty());
+}
+
+TEST(RingsInDim, EachMemberAppearsInExactlyOneRing) {
+  TpuCluster cluster;
+  const Slice s{0, 0, Coord{{0, 0, 0}}, Shape{{4, 4, 2}}};
+  const auto rings = rings_in_dim(cluster, s, 0);
+  EXPECT_EQ(rings.size(), 8u);  // 4 y x 2 z
+  std::set<TpuId> seen;
+  for (const auto& ring : rings) {
+    for (TpuId m : ring.members) {
+      EXPECT_TRUE(seen.insert(m).second) << "chip in two rings of one dim";
+    }
+  }
+  EXPECT_EQ(seen.size(), 32u);
+}
+
+TEST(SnakeRing, CoversSubGridOnce) {
+  TpuCluster cluster;
+  const Slice s{0, 0, Coord{{0, 0, 3}}, Shape{{4, 2, 1}}};
+  const auto ring = snake_ring(cluster, s, {0, 1}, s.offset);
+  EXPECT_EQ(ring.members.size(), 8u);
+  std::set<TpuId> unique(ring.members.begin(), ring.members.end());
+  EXPECT_EQ(unique.size(), 8u);
+}
+
+TEST(SnakeRing, ConsecutiveMembersAdjacent) {
+  TpuCluster cluster;
+  const Slice s{0, 0, Coord{{0, 0, 0}}, Shape{{4, 4, 1}}};
+  const auto ring = snake_ring(cluster, s, {0, 1}, s.offset);
+  ASSERT_EQ(ring.members.size(), 16u);
+  for (std::size_t i = 0; i + 1 < ring.members.size(); ++i) {
+    const Coord a = cluster.coord_of(ring.members[i]);
+    const Coord b = cluster.coord_of(ring.members[i + 1]);
+    int dist = 0;
+    for (std::size_t d = 0; d < topo::kDims; ++d) dist += std::abs(a[d] - b[d]);
+    EXPECT_EQ(dist, 1) << "serpentine order must be grid-adjacent at step " << i;
+  }
+}
+
+TEST(SnakeRing, StaysInsideSlice) {
+  TpuCluster cluster;
+  const Slice s{0, 0, Coord{{0, 2, 3}}, Shape{{4, 2, 1}}};
+  const auto ring = snake_ring(cluster, s, {0, 1}, s.offset);
+  EXPECT_TRUE(ring.transit_chips.empty());
+  for (const auto& link : ring.links) {
+    EXPECT_TRUE(s.contains(cluster.coord_of(link.chip)))
+        << "snake links must originate inside the slice";
+  }
+}
+
+TEST(SnakeRing, NoDirectedLinkUsedTwice) {
+  TpuCluster cluster;
+  const Slice s{0, 0, Coord{{0, 0, 0}}, Shape{{4, 4, 1}}};
+  const auto ring = snake_ring(cluster, s, {0, 1}, s.offset);
+  std::set<std::size_t> keys;
+  for (const auto& link : ring.links) {
+    EXPECT_TRUE(keys.insert(topo::link_key(link)).second)
+        << "snake ring self-congests on a directed link";
+  }
+}
+
+TEST(SnakeRings, OnePerRemainingCoordinate) {
+  TpuCluster cluster;
+  const Slice s{0, 0, Coord{{0, 0, 0}}, Shape{{4, 2, 2}}};
+  // Snake over X,Y; one ring per z layer.
+  const auto rings = snake_rings(cluster, s, {0, 1});
+  EXPECT_EQ(rings.size(), 2u);
+  for (const auto& ring : rings) EXPECT_EQ(ring.members.size(), 8u);
+}
+
+TEST(SnakeRings, ThreeDimSnakeCoversEverything) {
+  TpuCluster cluster;
+  const Slice s{0, 0, Coord{{0, 0, 0}}, Shape{{2, 2, 2}}};
+  const auto rings = snake_rings(cluster, s, {0, 1, 2});
+  ASSERT_EQ(rings.size(), 1u);
+  EXPECT_EQ(rings[0].members.size(), 8u);
+  std::set<TpuId> unique(rings[0].members.begin(), rings[0].members.end());
+  EXPECT_EQ(unique.size(), 8u);
+}
+
+}  // namespace
+}  // namespace lp::coll

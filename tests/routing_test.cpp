@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include "lightpath/fabric.hpp"
+#include "routing/decentralized.hpp"
+#include "routing/planner.hpp"
+#include "routing/repair.hpp"
+#include "routing/router.hpp"
+
+namespace lp::routing {
+namespace {
+
+using fabric::Direction;
+using fabric::Fabric;
+using fabric::FabricConfig;
+using fabric::GlobalTile;
+using fabric::TileCoord;
+using fabric::Wafer;
+using fabric::WaferParams;
+
+TEST(Router, TrivialSelfRoute) {
+  const Wafer wafer;
+  const auto hops = find_route(wafer, 3, 3);
+  ASSERT_TRUE(hops.has_value());
+  EXPECT_TRUE(hops->empty());
+}
+
+TEST(Router, ShortestPathLength) {
+  const Wafer wafer;
+  const auto a = wafer.tile_at(TileCoord{0, 0});
+  const auto b = wafer.tile_at(TileCoord{3, 5});
+  const auto hops = find_route(wafer, a, b);
+  ASSERT_TRUE(hops.has_value());
+  EXPECT_EQ(hops->size(), 8u);
+}
+
+TEST(Router, PrefersFewerTurns) {
+  const Wafer wafer;
+  const auto a = wafer.tile_at(TileCoord{1, 0});
+  const auto b = wafer.tile_at(TileCoord{1, 7});
+  const auto hops = find_route(wafer, a, b);
+  ASSERT_TRUE(hops.has_value());
+  for (Direction d : *hops) EXPECT_EQ(d, Direction::kEast) << "straight line, no turns";
+}
+
+TEST(Router, RoutesAroundFullEdge) {
+  WaferParams params;
+  params.lanes_per_edge = 4;
+  Wafer wafer{params};
+  const auto a = wafer.tile_at(TileCoord{1, 0});
+  const auto b = wafer.tile_at(TileCoord{1, 2});
+  // Saturate the direct east edge out of (1,1).
+  ASSERT_TRUE(wafer.reserve_lanes(wafer.tile_at(TileCoord{1, 1}), Direction::kEast, 4));
+  const auto hops = find_route(wafer, a, b);
+  ASSERT_TRUE(hops.has_value());
+  EXPECT_GT(hops->size(), 2u) << "must detour";
+  // Verify the path is feasible.
+  EXPECT_TRUE(wafer.path_has_capacity(a, *hops, 1));
+}
+
+TEST(Router, ReportsInfeasible) {
+  WaferParams params;
+  params.lanes_per_edge = 2;
+  Wafer wafer{params};
+  // Cut tile (0,0) off entirely.
+  const auto corner = wafer.tile_at(TileCoord{0, 0});
+  ASSERT_TRUE(wafer.reserve_lanes(corner, Direction::kEast, 2));
+  ASSERT_TRUE(wafer.reserve_lanes(corner, Direction::kSouth, 2));
+  EXPECT_FALSE(find_route(wafer, corner, wafer.tile_at(TileCoord{2, 2})).has_value());
+}
+
+TEST(Router, RespectsLaneCount) {
+  WaferParams params;
+  params.lanes_per_edge = 4;
+  Wafer wafer{params};
+  const auto a = wafer.tile_at(TileCoord{0, 0});
+  const auto b = wafer.tile_at(TileCoord{0, 1});
+  RouteOptions opts;
+  opts.lanes = 8;  // more than any edge has
+  EXPECT_FALSE(find_route(wafer, a, b, opts).has_value());
+}
+
+TEST(Planner, PlacesRingDemands) {
+  Fabric fab;
+  CircuitPlanner planner{fab};
+  std::vector<Demand> demands;
+  for (fabric::TileId t = 0; t < 8; ++t) {
+    demands.push_back(Demand{GlobalTile{0, t}, GlobalTile{0, (t + 1) % 8}, 4});
+  }
+  const auto report = planner.place_all(demands);
+  EXPECT_TRUE(report.complete());
+  EXPECT_EQ(report.placed.size(), 8u);
+  EXPECT_GT(report.mzis_programmed, 0u);
+  EXPECT_GT(report.reconfig_latency.to_micros(), 3.5);
+  planner.release_all(report);
+  EXPECT_EQ(fab.active_circuits(), 0u);
+}
+
+TEST(Planner, ReportsFailuresWithoutAbandoningRest) {
+  FabricConfig config;
+  config.wafer.lanes_per_edge = 8192;
+  Fabric fab{config};
+  CircuitPlanner planner{fab};
+  // Tile 0 has only 16 Tx lambdas: three 8-lambda demands from it cannot all fit.
+  std::vector<Demand> demands{
+      Demand{GlobalTile{0, 0}, GlobalTile{0, 1}, 8},
+      Demand{GlobalTile{0, 0}, GlobalTile{0, 2}, 8},
+      Demand{GlobalTile{0, 0}, GlobalTile{0, 3}, 8},
+      Demand{GlobalTile{0, 4}, GlobalTile{0, 5}, 8},
+  };
+  const auto report = planner.place_all(demands);
+  EXPECT_EQ(report.failed.size(), 1u);
+  EXPECT_EQ(report.placed.size(), 3u);
+  planner.release_all(report);
+}
+
+TEST(Planner, LaneScarcityTriggersDetours) {
+  FabricConfig config;
+  config.wafer.lanes_per_edge = 4;
+  Fabric fab{config};
+  CircuitPlanner planner{fab};
+  // Many parallel demands across the same row exhaust the straight lanes.
+  std::vector<Demand> demands;
+  for (int i = 0; i < 3; ++i) {
+    demands.push_back(Demand{GlobalTile{0, fab.wafer(0).tile_at(TileCoord{1, 0})},
+                             GlobalTile{0, fab.wafer(0).tile_at(TileCoord{1, 7})}, 4});
+  }
+  const auto report = planner.place_all(demands);
+  // First takes the straight row; the others detour through rows 0/2.
+  EXPECT_TRUE(report.complete());
+  unsigned detoured = 0;
+  for (const auto& placed : report.placed) {
+    const fabric::Circuit* c = fab.circuit(placed.id);
+    ASSERT_NE(c, nullptr);
+    if (c->turn_count() > 0) ++detoured;
+  }
+  EXPECT_GE(detoured, 2u) << "two of three circuits must leave the straight row";
+  planner.release_all(report);
+}
+
+TEST(Decentralized, AllSucceedWithAmpleLanes) {
+  Fabric fab;
+  std::vector<Demand> demands;
+  for (fabric::TileId t = 0; t < 16; ++t) {
+    demands.push_back(Demand{GlobalTile{0, t}, GlobalTile{0, 31 - t}, 2});
+  }
+  const auto report = run_decentralized_setup(fab, demands);
+  EXPECT_EQ(report.failures, 0u);
+  EXPECT_EQ(report.per_demand.size(), 16u);
+  for (const auto& o : report.per_demand) {
+    EXPECT_TRUE(o.success);
+    EXPECT_GT(o.messages, 0u);
+  }
+  EXPECT_GT(report.makespan.to_micros(), 3.5) << "settle is included";
+  // The real fabric was never touched.
+  EXPECT_EQ(fab.wafer(0).total_lanes_used(), 0u);
+}
+
+TEST(Decentralized, ScarcityCausesRetriesOrFailures) {
+  FabricConfig config;
+  config.wafer.lanes_per_edge = 2;
+  Fabric fab{config};
+  std::vector<Demand> demands;
+  // Everyone crosses the middle of row 0.
+  for (int i = 0; i < 6; ++i) {
+    demands.push_back(Demand{GlobalTile{0, 0}, GlobalTile{0, 7}, 1});
+  }
+  const auto report = run_decentralized_setup(fab, demands);
+  unsigned retries = 0;
+  for (const auto& o : report.per_demand) retries += o.retries;
+  EXPECT_GT(retries + report.failures, 0u);
+}
+
+TEST(Decentralized, DeterministicUnderSeed) {
+  Fabric fab;
+  std::vector<Demand> demands{Demand{GlobalTile{0, 0}, GlobalTile{0, 9}, 1},
+                              Demand{GlobalTile{0, 1}, GlobalTile{0, 8}, 1}};
+  const auto a = run_decentralized_setup(fab, demands);
+  const auto b = run_decentralized_setup(fab, demands);
+  ASSERT_EQ(a.per_demand.size(), b.per_demand.size());
+  for (std::size_t i = 0; i < a.per_demand.size(); ++i) {
+    EXPECT_EQ(a.per_demand[i].messages, b.per_demand[i].messages);
+    EXPECT_DOUBLE_EQ(a.per_demand[i].completion.to_seconds(),
+                     b.per_demand[i].completion.to_seconds());
+  }
+}
+
+TEST(Decentralized, CentralizedLatencyScalesWithDemands) {
+  Fabric fab;
+  const Duration few = centralized_setup_latency(fab, 10);
+  const Duration many = centralized_setup_latency(fab, 1000);
+  EXPECT_LT(few.to_seconds(), many.to_seconds());
+}
+
+TEST(Repair, SameWaferRepairCompletes) {
+  Fabric fab;
+  RepairRequest req;
+  req.spare = GlobalTile{0, 12};
+  req.neighbors = {GlobalTile{0, 3}, GlobalTile{0, 5}, GlobalTile{0, 20}};
+  req.wavelengths = 2;
+  const auto plan = repair_with_spare(fab, req);
+  EXPECT_TRUE(plan.complete);
+  EXPECT_EQ(plan.circuits.size(), 6u);  // both directions per neighbor
+  EXPECT_EQ(plan.fibers_used, 0u);
+  EXPECT_GT(plan.reconfig_latency.to_micros(), 3.5);
+}
+
+TEST(Repair, CrossWaferUsesFibers) {
+  FabricConfig config;
+  config.wafer_count = 2;
+  Fabric fab{config};
+  fab.add_fiber_link(GlobalTile{0, 7}, GlobalTile{1, 0}, 16);
+  RepairRequest req;
+  req.spare = GlobalTile{1, 4};
+  req.neighbors = {GlobalTile{0, 3}};
+  req.wavelengths = 1;
+  const auto plan = repair_with_spare(fab, req);
+  EXPECT_TRUE(plan.complete);
+  EXPECT_EQ(plan.fibers_used, 2u);
+}
+
+TEST(Repair, FailureRollsBackCleanly) {
+  FabricConfig config;
+  config.wafer_count = 2;
+  Fabric fab{config};  // no fiber links at all
+  RepairRequest req;
+  req.spare = GlobalTile{1, 4};
+  req.neighbors = {GlobalTile{0, 3}};
+  const auto plan = repair_with_spare(fab, req);
+  EXPECT_FALSE(plan.complete);
+  EXPECT_TRUE(plan.circuits.empty());
+  EXPECT_EQ(fab.active_circuits(), 0u);
+  EXPECT_EQ(fab.wafer(0).total_lanes_used(), 0u);
+}
+
+TEST(Repair, ChooseSparePrefersSameWafer) {
+  FabricConfig config;
+  config.wafer_count = 2;
+  Fabric fab{config};
+  const std::vector<GlobalTile> candidates{GlobalTile{1, 0}, GlobalTile{0, 30},
+                                           GlobalTile{0, 2}};
+  const std::vector<GlobalTile> neighbors{GlobalTile{0, 1}, GlobalTile{0, 3}};
+  const auto choice = choose_spare(fab, candidates, neighbors);
+  ASSERT_TRUE(choice.ok());
+  EXPECT_EQ(choice.value(), 2u) << "same-wafer, closest candidate wins";
+}
+
+TEST(Repair, ChooseSpareEmptyFails) {
+  Fabric fab;
+  EXPECT_FALSE(choose_spare(fab, {}, {GlobalTile{0, 1}}).ok());
+}
+
+}  // namespace
+}  // namespace lp::routing

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "topo/switched.hpp"
+
+namespace lp::topo {
+namespace {
+
+TEST(Switched, QuietSwitchIsPortBound) {
+  SwitchedServerParams params;
+  params.port_bandwidth = Bandwidth::gBps(450);
+  params.aggregate_bandwidth = Bandwidth::gBps(450 * 8 * 0.75);
+  const SwitchedServer sw{params};
+  // 5 flows: core share = 2700/5 = 540 > 450 -> port-bound.
+  EXPECT_NEAR(sw.effective_flow_rate(5, Bandwidth::zero()).to_gBps(), 450.0, 1e-9);
+  // 8 flows: core share = 2700/8 = 337.5 < 450 -> core-bound.
+  EXPECT_NEAR(sw.effective_flow_rate(8, Bandwidth::zero()).to_gBps(), 337.5, 1e-9);
+}
+
+TEST(Switched, BackgroundLoadStealsBandwidth) {
+  const SwitchedServer sw;
+  const Bandwidth quiet = sw.effective_flow_rate(8, Bandwidth::zero());
+  const Bandwidth loaded =
+      sw.effective_flow_rate(8, sw.params().aggregate_bandwidth * 0.5);
+  EXPECT_LT(loaded.to_gBps(), quiet.to_gBps());
+  // Fully saturated core starves flows entirely.
+  const Bandwidth starved =
+      sw.effective_flow_rate(8, sw.params().aggregate_bandwidth);
+  EXPECT_TRUE(starved.is_zero());
+}
+
+TEST(Switched, RingBetaMatchesClosedForm) {
+  SwitchedServerParams params;
+  params.port_bandwidth = Bandwidth::gBps(400);
+  params.aggregate_bandwidth = Bandwidth::gBps(400 * 16);  // never core-bound
+  const SwitchedServer sw{params};
+  const DataSize n = DataSize::mib(256);
+  const Duration beta = sw.ring_collective_beta(n, 8, Bandwidth::zero());
+  EXPECT_NEAR(beta.to_seconds(),
+              transfer_time(n * (7.0 / 8.0), Bandwidth::gBps(400)).to_seconds(), 1e-12);
+}
+
+TEST(Switched, DegenerateCases) {
+  const SwitchedServer sw;
+  EXPECT_EQ(sw.ring_collective_beta(DataSize::mib(1), 1, Bandwidth::zero()),
+            Duration::zero());
+  EXPECT_TRUE(sw.effective_flow_rate(0, Bandwidth::zero()).is_zero());
+  EXPECT_FALSE(sw.ring_collective_beta(DataSize::mib(1), 8,
+                                       sw.params().aggregate_bandwidth * 2.0)
+                   .is_finite());
+}
+
+TEST(Switched, AllToAllSlowerThanRingPerByte) {
+  const SwitchedServer sw;
+  const DataSize n = DataSize::mib(64);
+  // All-to-all moves the full n per chip; the ring only (p-1)/p of it.
+  EXPECT_GT(sw.all_to_all_beta(n, 8, Bandwidth::zero()).to_seconds(),
+            sw.ring_collective_beta(n, 8, Bandwidth::zero()).to_seconds());
+}
+
+}  // namespace
+}  // namespace lp::topo

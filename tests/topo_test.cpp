@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/cluster.hpp"
+#include "topo/slice.hpp"
+#include "topo/torus.hpp"
+
+namespace lp::topo {
+namespace {
+
+TEST(Torus, IndexCoordRoundTrip) {
+  const Torus t{Shape{{4, 4, 4}}};
+  EXPECT_EQ(t.size(), 64);
+  for (std::int32_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(t.index(t.coord(i)), i);
+  }
+}
+
+TEST(Torus, NeighborWraparound) {
+  const Torus t{Shape{{4, 4, 4}}};
+  const Coord edge{{3, 0, 0}};
+  EXPECT_EQ(t.neighbor(edge, 0, +1), (Coord{{0, 0, 0}}));
+  EXPECT_EQ(t.neighbor(Coord{{0, 0, 0}}, 0, -1), (Coord{{3, 0, 0}}));
+  EXPECT_EQ(t.neighbor(Coord{{1, 2, 3}}, 2, +1), (Coord{{1, 2, 0}}));
+}
+
+TEST(Torus, RingThroughVisitsFullDimension) {
+  const Torus t{Shape{{4, 2, 3}}};
+  const auto ring = t.ring_through(Coord{{1, 1, 2}}, 0);
+  ASSERT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring[0], (Coord{{1, 1, 2}}));
+  EXPECT_EQ(ring[1], (Coord{{2, 1, 2}}));
+  EXPECT_EQ(ring[3], (Coord{{0, 1, 2}}));
+}
+
+TEST(Torus, AllCoordsComplete) {
+  const Torus t{Shape{{2, 3, 4}}};
+  const auto coords = t.all_coords();
+  EXPECT_EQ(coords.size(), 24u);
+  std::set<std::int32_t> seen;
+  for (const Coord& c : coords) seen.insert(t.index(c));
+  EXPECT_EQ(seen.size(), 24u);
+}
+
+TEST(Cluster, DefaultsMatchTpuV4) {
+  const TpuCluster cluster;
+  EXPECT_EQ(cluster.rack_count(), 64);
+  EXPECT_EQ(cluster.chips_per_rack(), 64);
+  EXPECT_EQ(cluster.chip_count(), 4096);
+  EXPECT_EQ(cluster.servers_per_rack(), 16);
+}
+
+TEST(Cluster, ChipIdRoundTrip) {
+  const TpuCluster cluster;
+  for (RackId r : {0, 17, 63}) {
+    for (std::int32_t i = 0; i < 64; i += 7) {
+      const Coord c = cluster.rack_torus().coord(i);
+      const TpuId chip = cluster.chip_at(r, c);
+      EXPECT_EQ(cluster.rack_of(chip), r);
+      EXPECT_EQ(cluster.coord_of(chip), c);
+    }
+  }
+}
+
+TEST(Cluster, ServerGrouping2x2x1) {
+  const TpuCluster cluster;
+  // Chips (0,0,0), (1,0,0), (0,1,0), (1,1,0) share a server.
+  const TpuId base = cluster.chip_at(0, Coord{{0, 0, 0}});
+  const auto chips = cluster.server_chips(base);
+  EXPECT_EQ(chips.size(), 4u);
+  std::set<std::int32_t> servers;
+  for (std::int32_t i = 0; i < cluster.chips_per_rack(); ++i) servers.insert(cluster.server_of(i));
+  EXPECT_EQ(servers.size(), 16u);
+  // A different z belongs to a different server (groups are 2x2x1).
+  EXPECT_NE(cluster.server_of(cluster.chip_at(0, Coord{{0, 0, 0}})),
+            cluster.server_of(cluster.chip_at(0, Coord{{0, 0, 1}})));
+}
+
+TEST(Cluster, StateTracking) {
+  TpuCluster cluster;
+  EXPECT_EQ(cluster.state(100), ChipState::kFree);
+  cluster.set_state(100, ChipState::kFailed);
+  EXPECT_EQ(cluster.state(100), ChipState::kFailed);
+  EXPECT_EQ(cluster.chips_in_state(ChipState::kFailed).size(), 1u);
+  EXPECT_EQ(cluster.free_chips_in_rack(1).size(), 63u);
+  EXPECT_EQ(cluster.free_chips_in_rack(0).size(), 64u);
+}
+
+TEST(Cluster, DimBandwidthIsThirdOfChip) {
+  const TpuCluster cluster;
+  EXPECT_NEAR(cluster.dim_bandwidth().to_gBps(), 100.0, 1e-9);
+}
+
+TEST(Cluster, WraparoundDetection) {
+  const TpuCluster cluster;
+  const TpuId interior = cluster.chip_at(0, Coord{{1, 1, 1}});
+  EXPECT_FALSE(cluster.is_wraparound(DirectedLink{interior, 0, +1}));
+  const TpuId face = cluster.chip_at(0, Coord{{3, 1, 1}});
+  EXPECT_TRUE(cluster.is_wraparound(DirectedLink{face, 0, +1}));
+  EXPECT_FALSE(cluster.is_wraparound(DirectedLink{face, 0, -1}));
+  const TpuId origin = cluster.chip_at(0, Coord{{0, 1, 1}});
+  EXPECT_TRUE(cluster.is_wraparound(DirectedLink{origin, 0, -1}));
+}
+
+TEST(Cluster, LinkTargetWraps) {
+  const TpuCluster cluster;
+  const TpuId face = cluster.chip_at(2, Coord{{3, 1, 1}});
+  EXPECT_EQ(cluster.link_target(DirectedLink{face, 0, +1}),
+            cluster.chip_at(2, Coord{{0, 1, 1}}));
+}
+
+TEST(Cluster, LinkKeyDense) {
+  std::set<std::size_t> keys;
+  for (TpuId chip = 0; chip < 4; ++chip) {
+    for (std::uint8_t d = 0; d < 3; ++d) {
+      for (std::int8_t s : {std::int8_t{+1}, std::int8_t{-1}}) {
+        keys.insert(link_key(DirectedLink{chip, d, s}));
+      }
+    }
+  }
+  EXPECT_EQ(keys.size(), 24u);
+  EXPECT_EQ(*keys.rbegin(), 23u);
+}
+
+TEST(Slice, ContainsAndCoords) {
+  const Slice s{0, 0, Coord{{0, 2, 3}}, Shape{{4, 2, 1}}};
+  EXPECT_EQ(s.chip_count(), 8);
+  EXPECT_TRUE(s.contains(Coord{{0, 2, 3}}));
+  EXPECT_TRUE(s.contains(Coord{{3, 3, 3}}));
+  EXPECT_FALSE(s.contains(Coord{{0, 1, 3}}));
+  EXPECT_FALSE(s.contains(Coord{{0, 2, 2}}));
+  EXPECT_EQ(s.coords().size(), 8u);
+}
+
+TEST(Slice, SpansDimension) {
+  const Shape rack{{4, 4, 4}};
+  const Slice s{0, 0, Coord{{0, 0, 3}}, Shape{{4, 2, 1}}};
+  EXPECT_TRUE(s.spans_dimension(0, rack));
+  EXPECT_FALSE(s.spans_dimension(1, rack));
+  EXPECT_FALSE(s.spans_dimension(2, rack));
+}
+
+TEST(Allocator, AllocateAtMarksChips) {
+  TpuCluster cluster;
+  SliceAllocator alloc{cluster};
+  const auto id = alloc.allocate_at(0, Coord{{0, 0, 0}}, Shape{{4, 4, 1}});
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(cluster.chips_in_state(ChipState::kAllocated).size(), 16u);
+  EXPECT_EQ(alloc.owner(cluster.chip_at(0, Coord{{1, 1, 0}})), id.value());
+  EXPECT_FALSE(alloc.owner(cluster.chip_at(0, Coord{{0, 0, 1}})).has_value());
+}
+
+TEST(Allocator, RejectsOverlapAndOutOfBounds) {
+  TpuCluster cluster;
+  SliceAllocator alloc{cluster};
+  ASSERT_TRUE(alloc.allocate_at(0, Coord{{0, 0, 0}}, Shape{{4, 4, 2}}).ok());
+  EXPECT_FALSE(alloc.allocate_at(0, Coord{{0, 0, 1}}, Shape{{4, 4, 1}}).ok());
+  EXPECT_FALSE(alloc.allocate_at(0, Coord{{2, 0, 0}}, Shape{{4, 1, 1}}).ok());
+}
+
+TEST(Allocator, ReleaseFreesChips) {
+  TpuCluster cluster;
+  SliceAllocator alloc{cluster};
+  const auto id = alloc.allocate_at(0, Coord{{0, 0, 0}}, Shape{{2, 2, 2}});
+  ASSERT_TRUE(id.ok());
+  alloc.release(id.value());
+  EXPECT_EQ(cluster.chips_in_state(ChipState::kAllocated).size(), 0u);
+  EXPECT_EQ(alloc.slice(id.value()), nullptr);
+  alloc.release(id.value());  // idempotent
+  // Region can be re-allocated.
+  EXPECT_TRUE(alloc.allocate_at(0, Coord{{0, 0, 0}}, Shape{{2, 2, 2}}).ok());
+}
+
+TEST(Allocator, ReleaseKeepsFailedChipsFailed) {
+  TpuCluster cluster;
+  SliceAllocator alloc{cluster};
+  const auto id = alloc.allocate_at(0, Coord{{0, 0, 0}}, Shape{{2, 2, 1}});
+  ASSERT_TRUE(id.ok());
+  const TpuId failed = cluster.chip_at(0, Coord{{0, 0, 0}});
+  cluster.set_state(failed, ChipState::kFailed);
+  alloc.release(id.value());
+  EXPECT_EQ(cluster.state(failed), ChipState::kFailed);
+}
+
+TEST(Allocator, FirstFitFindsSpace) {
+  TpuCluster cluster;
+  SliceAllocator alloc{cluster};
+  ASSERT_TRUE(alloc.allocate_at(0, Coord{{0, 0, 0}}, Shape{{4, 4, 3}}).ok());
+  // 4x4x2 no longer fits in rack 0 but fits in rack 1.
+  const auto id = alloc.allocate(Shape{{4, 4, 2}});
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(alloc.slice(id.value())->rack, 1);
+  // 4x4x1 still fits in rack 0's remaining z=3 layer.
+  const auto id2 = alloc.allocate(Shape{{4, 4, 1}});
+  ASSERT_TRUE(id2.ok());
+  EXPECT_EQ(alloc.slice(id2.value())->rack, 0);
+}
+
+TEST(Allocator, AllocationExhaustion) {
+  ClusterConfig config;
+  config.racks = 1;
+  TpuCluster cluster{config};
+  SliceAllocator alloc{cluster};
+  ASSERT_TRUE(alloc.allocate(Shape{{4, 4, 4}}).ok());
+  EXPECT_FALSE(alloc.allocate(Shape{{1, 1, 1}}).ok());
+}
+
+TEST(Figure5, PackingMatchesPaper) {
+  TpuCluster cluster;
+  SliceAllocator alloc{cluster};
+  const auto packing = pack_figure5(alloc);
+  ASSERT_TRUE(packing.ok()) << packing.error().message;
+  const auto& p = packing.value();
+  EXPECT_EQ(alloc.slice(p.slice1)->shape, (Shape{{4, 2, 1}}));
+  EXPECT_EQ(alloc.slice(p.slice2)->shape, (Shape{{4, 2, 1}}));
+  EXPECT_EQ(alloc.slice(p.slice3)->shape, (Shape{{4, 4, 1}}));
+  EXPECT_EQ(alloc.slice(p.slice4)->shape, (Shape{{4, 4, 2}}));
+  // The rack is exactly full.
+  EXPECT_EQ(cluster.chips_in_state(ChipState::kAllocated).size(), 64u);
+  EXPECT_TRUE(cluster.free_chips_in_rack(0).empty());
+}
+
+}  // namespace
+}  // namespace lp::topo

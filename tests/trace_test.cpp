@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "collective/schedule.hpp"
+#include "sim/flow_sim.hpp"
+#include "sim/trace.hpp"
+#include "topo/slice.hpp"
+
+namespace lp::sim {
+namespace {
+
+TEST(Trace, CsvFormat) {
+  TimelineTrace trace;
+  trace.add(TraceEvent{0, "reconfig", Duration::zero(), Duration::micros(3.7),
+                       Bandwidth::zero()});
+  trace.add(TraceEvent{0, "0->1", Duration::micros(3.7), Duration::micros(10.0),
+                       Bandwidth::gbps(100)});
+  const std::string csv = trace.to_csv();
+  EXPECT_NE(csv.find("phase,label,start_us,end_us,rate_gbps"), std::string::npos);
+  EXPECT_NE(csv.find("0,reconfig,0,3.7,0"), std::string::npos);
+  EXPECT_NE(csv.find("0->1"), std::string::npos);
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_NEAR(trace.span().to_micros(), 10.0, 1e-9);
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(Trace, FlowSimRecordsSchedule) {
+  topo::TpuCluster cluster;
+  const topo::Slice slice{0, 0, topo::Coord{{0, 0, 3}}, topo::Shape{{4, 2, 1}}};
+  const coll::CostParams params;
+  const auto schedule = coll::build_reduce_scatter_schedule(
+      cluster, slice, DataSize::mib(16), coll::Interconnect::kOptical, params);
+  const FlowSimulator fsim{cluster.dim_bandwidth()};
+  TimelineTrace trace;
+  const auto result = fsim.run(schedule, &trace);
+  // 7 phases x 8 flows + 1 reconfig event.
+  EXPECT_EQ(trace.size(), 7u * 8u + 1u);
+  EXPECT_NEAR(trace.span().to_seconds(), result.total.to_seconds(), 1e-12);
+  // First event is the reconfiguration.
+  EXPECT_EQ(trace.events().front().label, "reconfig");
+  EXPECT_NEAR((trace.events().front().end - trace.events().front().start).to_micros(),
+              3.7, 1e-6);
+  // Events are phase-ordered and non-overlapping across phase boundaries.
+  for (std::size_t i = 1; i < trace.events().size(); ++i) {
+    EXPECT_GE(trace.events()[i].phase, trace.events()[i - 1].phase);
+  }
+}
+
+TEST(Trace, NullTraceIsNoop) {
+  topo::TpuCluster cluster;
+  const topo::Slice slice{0, 0, topo::Coord{{0, 0, 3}}, topo::Shape{{4, 2, 1}}};
+  const coll::CostParams params;
+  const auto schedule = coll::build_reduce_scatter_schedule(
+      cluster, slice, DataSize::mib(16), coll::Interconnect::kElectrical, params);
+  const FlowSimulator fsim{cluster.dim_bandwidth()};
+  const auto with = fsim.run(schedule, nullptr);
+  TimelineTrace trace;
+  const auto without = fsim.run(schedule, &trace);
+  EXPECT_DOUBLE_EQ(with.total.to_seconds(), without.total.to_seconds());
+}
+
+}  // namespace
+}  // namespace lp::sim

@@ -1,0 +1,37 @@
+// Compile-and-smoke test of the umbrella header: a downstream user should
+// be able to include one header and touch every subsystem.
+#include "lightpath_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, EverySubsystemReachable) {
+  lp::Rng rng{1};
+  EXPECT_GT(rng.uniform(), -1.0);
+
+  const lp::phys::Mzi mzi;
+  EXPECT_GT(mzi.settling_time().to_micros(), 3.0);
+
+  lp::fabric::Fabric fab;
+  EXPECT_EQ(fab.wafer(0).tile_count(), 32u);
+
+  lp::topo::TpuCluster cluster;
+  EXPECT_EQ(cluster.chip_count(), 4096);
+
+  const lp::topo::Slice slice{0, 0, lp::topo::Coord{{0, 0, 3}},
+                              lp::topo::Shape{{4, 2, 1}}};
+  const auto plan = lp::coll::build_plan(slice, cluster.config().rack_shape);
+  EXPECT_EQ(plan.alpha_steps(), 7);
+
+  const lp::sim::FlowSimulator fsim{cluster.dim_bandwidth()};
+  EXPECT_EQ(fsim.run_phase({}).duration, lp::Duration::zero());
+
+  lp::core::PhotonicServer server{8};
+  EXPECT_EQ(server.accelerator_count(), 8u);
+
+  const lp::topo::SwitchedServer sw;
+  EXPECT_FALSE(sw.effective_flow_rate(8, lp::Bandwidth::zero()).is_zero());
+}
+
+}  // namespace

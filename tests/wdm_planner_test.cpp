@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "routing/wdm_planner.hpp"
+
+namespace lp::routing {
+namespace {
+
+using fabric::GlobalTile;
+using fabric::TileCoord;
+using fabric::Wafer;
+
+class WdmPlannerFixture : public ::testing::Test {
+ protected:
+  Wafer wafer_;
+  WdmPlanner planner_{wafer_, 16};
+};
+
+TEST_F(WdmPlannerFixture, PlacesAndReleases) {
+  const Demand d{GlobalTile{0, 0}, GlobalTile{0, 9}, 4};
+  auto circuit = planner_.place(d);
+  ASSERT_TRUE(circuit.ok()) << circuit.error().message;
+  EXPECT_EQ(circuit.value().channels.size(), 4u);
+  EXPECT_FALSE(circuit.value().hops.empty());
+  EXPECT_EQ(planner_.stats().placed, 1u);
+  planner_.release(circuit.value());
+  // Same channels available again.
+  auto again = planner_.place(d);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().channels, circuit.value().channels);
+}
+
+TEST_F(WdmPlannerFixture, AlternatePathAvoidsContinuityBlock) {
+  // Fill all 16 channels on the XY path's first edge; the YX (or routed)
+  // candidate must be used instead.
+  const Demand blocker{GlobalTile{0, 0}, GlobalTile{0, 1}, 16};
+  ASSERT_TRUE(planner_.place(blocker).ok());
+  const Demand d{GlobalTile{0, 0}, GlobalTile{0, 9}, 2};
+  auto circuit = planner_.place(d);
+  ASSERT_TRUE(circuit.ok()) << circuit.error().message;
+  // The chosen path cannot start with East (tile 0 -> 1).
+  EXPECT_NE(circuit.value().hops.front(), fabric::Direction::kEast);
+}
+
+TEST_F(WdmPlannerFixture, BlocksWhenAllCandidatesFull) {
+  // Saturate every edge out of tile 0.
+  ASSERT_TRUE(planner_.place(Demand{GlobalTile{0, 0}, GlobalTile{0, 1}, 16}).ok());
+  ASSERT_TRUE(planner_.place(Demand{GlobalTile{0, 0}, GlobalTile{0, 8}, 16}).ok());
+  const auto blocked = planner_.place(Demand{GlobalTile{0, 0}, GlobalTile{0, 9}, 1});
+  EXPECT_FALSE(blocked.ok());
+  EXPECT_EQ(planner_.stats().blocked_continuity, 1u);
+  EXPECT_GT(planner_.stats().blocking_probability(), 0.0);
+}
+
+TEST_F(WdmPlannerFixture, RejectsCrossWafer) {
+  const auto r = planner_.place(Demand{GlobalTile{0, 0}, GlobalTile{1, 1}, 1});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(WdmPlannerFixture, StatsReset) {
+  (void)planner_.place(Demand{GlobalTile{0, 0}, GlobalTile{0, 3}, 1});
+  planner_.reset_stats();
+  EXPECT_EQ(planner_.stats().placed, 0u);
+  EXPECT_EQ(planner_.stats().blocking_probability(), 0.0);
+}
+
+TEST_F(WdmPlannerFixture, ChurnNeverLeaksChannels) {
+  Rng rng{88};
+  std::vector<WdmCircuit> live;
+  for (int op = 0; op < 500; ++op) {
+    if (!live.empty() && rng.bernoulli(0.5)) {
+      const std::size_t pick = rng.uniform_index(live.size());
+      planner_.release(live[pick]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      const auto src = static_cast<fabric::TileId>(rng.uniform_index(32));
+      auto dst = static_cast<fabric::TileId>(rng.uniform_index(32));
+      if (dst == src) dst = (dst + 1) % 32;
+      auto c = planner_.place(Demand{GlobalTile{0, src}, GlobalTile{0, dst}, 2});
+      if (c) live.push_back(std::move(c).value());
+    }
+  }
+  for (const auto& c : live) planner_.release(c);
+  // Every edge must be fully free again.
+  for (fabric::TileId t = 0; t < wafer_.tile_count(); ++t) {
+    for (fabric::Direction dir : fabric::kAllDirections) {
+      if (!wafer_.neighbor(t, dir)) continue;
+      EXPECT_NEAR(planner_.ledger().occupancy(t, dir), 0.0, 1e-12)
+          << "tile " << t << " dir " << to_string(dir);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lp::routing
