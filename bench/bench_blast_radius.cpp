@@ -7,6 +7,7 @@
 // feasibility — the distribution behind the paper's argument.
 #include "bench/bench_common.hpp"
 #include "core/blast_radius.hpp"
+#include "core/failure_study.hpp"
 #include "core/photonic_rack.hpp"
 #include "topo/slice.hpp"
 #include "util/stats.hpp"
@@ -27,22 +28,17 @@ struct PolicyStats {
 };
 
 void run_policy(FailurePolicy policy, PolicyStats& stats) {
-  // Fresh world per failure so failures do not compound.
-  for (int victim_index = 0; victim_index < 48; victim_index += 3) {
-    topo::TpuCluster cluster;
-    topo::SliceAllocator alloc{cluster};
-    (void)alloc.allocate_at(0, Coord{{0, 0, 0}}, Shape{{4, 4, 2}});
-    (void)alloc.allocate_at(0, Coord{{0, 0, 2}}, Shape{{4, 4, 1}});
-    (void)alloc.allocate_at(0, Coord{{0, 0, 3}}, Shape{{4, 2, 1}});
-    // y in {2,3} at z=3 stays free: the spare pool.
-    const TpuId failed = victim_index;  // inside one of the slices
-    if (!alloc.owner(failed)) continue;
-
-    core::PhotonicRack rack{cluster, 0};
-    const auto impact = core::assess_failure(cluster, alloc, failed, policy, {},
-                                             policy == FailurePolicy::kOpticalRepair
-                                                 ? &rack
-                                                 : nullptr);
+  // The batch sweep restores the template world between victims, so
+  // failures do not compound.  y in {2,3} at z=3 stays free: the spare pool.
+  topo::TpuCluster cluster;
+  topo::SliceAllocator alloc{cluster};
+  core::pack_template_rack(alloc);
+  std::vector<TpuId> victims;
+  for (TpuId victim = 0; victim < 48; victim += 3) {
+    if (alloc.owner(victim)) victims.push_back(victim);  // inside a slice
+  }
+  const auto impacts = core::assess_failures_batch(policy, victims);
+  for (const auto& impact : impacts) {
     ++stats.total;
     if (impact.feasible) ++stats.feasible;
     stats.blast.add(impact.blast_radius_chips);
@@ -91,6 +87,26 @@ void BM_AssessFailureOptical(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AssessFailureOptical);
+
+// The batch API amortizes world construction across victims and assesses
+// them through per-worker reusable workspaces — the per-victim cost is what
+// the Monte-Carlo availability study pays per distinct victim.
+void BM_AssessFailureBatch(benchmark::State& state) {
+  std::vector<TpuId> victims;
+  {
+    topo::TpuCluster cluster;
+    topo::SliceAllocator alloc{cluster};
+    core::pack_template_rack(alloc);
+    victims = cluster.chips_in_state(topo::ChipState::kAllocated);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::assess_failures_batch(core::FailurePolicy::kOpticalRepair, victims));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(victims.size()));
+}
+BENCHMARK(BM_AssessFailureBatch);
 
 }  // namespace
 

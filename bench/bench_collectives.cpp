@@ -7,6 +7,7 @@
 // slice, because it comes from the redirected per-stage bandwidth, not the
 // primitive.
 #include "bench/bench_common.hpp"
+#include "collective/alltoall.hpp"
 #include "collective/extra_schedules.hpp"
 #include "sim/flow_sim.hpp"
 #include "topo/slice.hpp"
@@ -96,6 +97,30 @@ void BM_SimBroadcast(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(fsim.run(schedule));
 }
 BENCHMARK(BM_SimBroadcast);
+
+// Stress the max-min solver itself: every rotation round of a 32-chip
+// all-to-all collapsed into ONE phase of ~1000 simultaneous electrical
+// flows with heavy link sharing, so progressive filling runs many freeze
+// rounds over many contended links — the regime where the incremental
+// (CSR + lazy-heap) solver pulls away from a per-round full rescan.
+void BM_SimCongestedAllPairs(benchmark::State& state) {
+  topo::TpuCluster cluster;
+  const topo::Slice slice{0, 0, topo::Coord{{0, 0, 0}}, topo::Shape{{4, 4, 2}}};
+  const coll::CostParams params;
+  const auto demand = coll::uniform_all_to_all(32, DataSize::mib(4));
+  const auto schedule = coll::build_all_to_all_schedule(
+      cluster, slice, demand, Interconnect::kElectrical, params);
+  std::vector<coll::Transfer> transfers;
+  for (const auto& phase : schedule.phases) {
+    transfers.insert(transfers.end(), phase.transfers.begin(),
+                     phase.transfers.end());
+  }
+  const sim::FlowSimulator fsim{cluster.dim_bandwidth()};
+  for (auto _ : state) benchmark::DoNotOptimize(fsim.run_phase(transfers));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(transfers.size()));
+}
+BENCHMARK(BM_SimCongestedAllPairs);
 
 }  // namespace
 

@@ -20,6 +20,7 @@
 #include "topo/multirack.hpp"
 #include "sim/flow_sim.hpp"
 #include "topo/slice.hpp"
+#include "util/parallel.hpp"
 
 namespace {
 
@@ -54,10 +55,16 @@ void print_report() {
 
   std::printf("  neighbor     reachable spares (congestion-free)\n");
   for (TpuId nb : neighbors) {
-    int reachable = 0;
-    for (TpuId spare : spares) {
-      if (coll::find_uncongested_path(cluster, alloc, busy, nb, spare)) ++reachable;
-    }
+    // The (neighbor, spare) pairs are independent BFS probes: sweep the
+    // spares in parallel and fold the counts in spare order.
+    const int reachable = util::parallel_reduce(
+        spares.size(), 0,
+        [&](std::size_t i) {
+          return coll::find_uncongested_path(cluster, alloc, busy, nb, spares[i])
+                     ? 1
+                     : 0;
+        },
+        [](int acc, int hit) { return acc + hit; });
     const Coord c = cluster.coord_of(nb);
     std::printf("  (%d,%d,%d)      %d / %zu%s\n", c[0], c[1], c[2], reachable,
                 spares.size(), reachable == 0 ? "   <-- impossible, as in the paper" : "");

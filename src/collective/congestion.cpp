@@ -106,10 +106,18 @@ std::optional<std::vector<TpuId>> find_uncongested_path(const TpuCluster& cluste
                                                         const topo::SliceAllocator& alloc,
                                                         const LinkLoad& busy, TpuId from,
                                                         TpuId to) {
-  // BFS over chips within the rack of `from`.
-  std::vector<std::int32_t> parent(static_cast<std::size_t>(cluster.chip_count()), -2);
+  // BFS over chips within the rack of `from`: a repair path may not leave
+  // the failed slice's rack, so expansion is confined to it (and the parent
+  // table is rack-sized, not cluster-sized).
+  const topo::RackId rack = cluster.rack_of(from);
+  const TpuId rack_base = rack * cluster.chips_per_rack();
+  const auto local = [rack_base](TpuId chip) {
+    return static_cast<std::size_t>(chip - rack_base);
+  };
+  std::vector<std::int32_t> parent(static_cast<std::size_t>(cluster.chips_per_rack()),
+                                   -2);
   std::deque<TpuId> queue;
-  parent[static_cast<std::size_t>(from)] = -1;
+  parent[local(from)] = -1;
   queue.push_back(from);
   while (!queue.empty()) {
     const TpuId at = queue.front();
@@ -119,18 +127,19 @@ std::optional<std::vector<TpuId>> find_uncongested_path(const TpuCluster& cluste
         const DirectedLink link{at, d, sign};
         if (busy.load(link) > 0) continue;  // link already carries a transfer
         const TpuId next = cluster.link_target(link);
-        if (parent[static_cast<std::size_t>(next)] != -2) continue;
+        if (cluster.rack_of(next) != rack) continue;  // stay within the rack
+        if (parent[local(next)] != -2) continue;
         if (cluster.state(next) == ChipState::kFailed) continue;
         // Intermediate chips must be free; the destination may be any
         // non-failed chip (the repair target is free by construction, but
         // callers may probe arbitrary endpoints).
         if (next != to && alloc.owner(next).has_value()) continue;
-        parent[static_cast<std::size_t>(next)] = at;
+        parent[local(next)] = at;
         if (next == to) {
           std::vector<TpuId> path{to};
           TpuId walk = to;
-          while (parent[static_cast<std::size_t>(walk)] != -1) {
-            walk = parent[static_cast<std::size_t>(walk)];
+          while (parent[local(walk)] != -1) {
+            walk = parent[local(walk)];
             path.push_back(walk);
           }
           std::reverse(path.begin(), path.end());

@@ -79,7 +79,9 @@ struct RackAnalysis {
                                         const topo::SliceAllocator& alloc,
                                         topo::RackId rack, RingSelection selection);
 
-/// BFS search for a congestion-free electrical path from `from` to `to`:
+/// BFS search for a congestion-free electrical path from `from` to `to`,
+/// confined to the rack of `from` (a repair path may not leave the failed
+/// slice's rack; `to` in another rack is unreachable by construction):
 /// intermediate chips must be free (not allocated, not failed) because
 /// forwarding consumes an allocated chip's fully-subscribed links, and no
 /// directed link may already be loaded in `busy`.  Endpoints are exempt

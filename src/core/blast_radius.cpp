@@ -11,9 +11,13 @@ using topo::TpuId;
 
 std::vector<TpuId> broken_ring_neighbors(const TpuCluster& cluster,
                                          const topo::Slice& slice, TpuId failed) {
+  return broken_ring_neighbors(
+      coll::slice_traffic(cluster, slice, coll::RingSelection::kUsableOnly), failed);
+}
+
+std::vector<TpuId> broken_ring_neighbors(const coll::SliceTraffic& traffic,
+                                         TpuId failed) {
   std::vector<TpuId> neighbors;
-  const auto traffic =
-      coll::slice_traffic(cluster, slice, coll::RingSelection::kUsableOnly);
   for (const auto& ring : traffic.rings) {
     const auto it = std::find(ring.members.begin(), ring.members.end(), failed);
     if (it == ring.members.end()) continue;
@@ -73,7 +77,8 @@ ElectricalRepairAttempt attempt_electrical_repair(const TpuCluster& cluster,
 FailureImpact assess_failure(TpuCluster& cluster, topo::SliceAllocator& alloc,
                              TpuId failed, FailurePolicy policy,
                              const FailureImpactParams& params,
-                             PhotonicRack* rack_fabric) {
+                             PhotonicRack* rack_fabric,
+                             const coll::SliceTraffic* steady_traffic) {
   FailureImpact impact;
   impact.policy = policy;
   cluster.set_state(failed, ChipState::kFailed);
@@ -104,7 +109,10 @@ FailureImpact assess_failure(TpuCluster& cluster, topo::SliceAllocator& alloc,
     }
     case FailurePolicy::kOpticalRepair: {
       if (rack_fabric == nullptr || slice == nullptr) break;
-      const auto neighbors = broken_ring_neighbors(cluster, *slice, failed);
+      const auto neighbors =
+          steady_traffic != nullptr
+              ? broken_ring_neighbors(*steady_traffic, failed)
+              : broken_ring_neighbors(cluster, *slice, failed);
       const auto free_chips = cluster.free_chips_in_rack(slice->rack);
       if (free_chips.empty() || neighbors.empty()) break;
 
@@ -122,6 +130,7 @@ FailureImpact assess_failure(TpuCluster& cluster, topo::SliceAllocator& alloc,
       req.spare = candidates[choice.value()];
       req.neighbors = neighbor_tiles;
       const auto plan = routing::repair_with_spare(rack_fabric->fabric(), req);
+      impact.repair_circuits = plan.circuits;
       impact.feasible = plan.complete;
       impact.congestion_free = plan.complete;  // dedicated circuits
       // Blast radius: the failed chip's server (it is pulled for service)

@@ -48,6 +48,10 @@ struct FailureImpact {
   bool congestion_free{false};
   /// Whether the policy could handle the failure at all.
   bool feasible{false};
+  /// Circuits an optical repair established on the rack fabric.  Callers
+  /// that assess many hypothetical failures against one fabric (the batch
+  /// sweeps) disconnect these to restore the fabric between trials.
+  std::vector<fabric::CircuitId> repair_circuits;
 };
 
 /// The failed chip's ring neighbors that lose a peer: for every ring of the
@@ -55,6 +59,13 @@ struct FailureImpact {
 /// predecessor and successor.
 [[nodiscard]] std::vector<topo::TpuId> broken_ring_neighbors(
     const topo::TpuCluster& cluster, const topo::Slice& slice, topo::TpuId failed);
+
+/// Same, against a precomputed steady-state traffic realization of the
+/// slice.  Batch sweeps that assess many hypothetical failures of one fixed
+/// packing pass the cached traffic instead of re-deriving the rings per
+/// trial.
+[[nodiscard]] std::vector<topo::TpuId> broken_ring_neighbors(
+    const coll::SliceTraffic& traffic, topo::TpuId failed);
 
 /// Result of attempting an in-place electrical repair (Figure 6): for the
 /// chosen spare, per-neighbor congestion-free paths, if they all exist.
@@ -73,11 +84,14 @@ struct ElectricalRepairAttempt {
     topo::TpuId failed);
 
 /// Assesses a failure under a policy.  `rack_fabric` is required for
-/// kOpticalRepair and ignored otherwise.
+/// kOpticalRepair and ignored otherwise.  `steady_traffic`, when non-null,
+/// is the precomputed kUsableOnly traffic of the failed chip's slice (a
+/// batch-sweep cache); when null it is derived on the fly.
 [[nodiscard]] FailureImpact assess_failure(topo::TpuCluster& cluster,
                                            topo::SliceAllocator& alloc,
                                            topo::TpuId failed, FailurePolicy policy,
                                            const FailureImpactParams& params = {},
-                                           PhotonicRack* rack_fabric = nullptr);
+                                           PhotonicRack* rack_fabric = nullptr,
+                                           const coll::SliceTraffic* steady_traffic = nullptr);
 
 }  // namespace lp::core

@@ -1,51 +1,146 @@
 #include "core/failure_study.hpp"
 
+#include <algorithm>
+
+#include <memory>
+#include <optional>
+
 #include "core/photonic_rack.hpp"
 #include "topo/slice.hpp"
+#include "util/parallel.hpp"
 
 namespace lp::core {
+namespace {
+
+/// Per-worker reusable world: template cluster + packing (+ photonic rack
+/// for the optical policy), built once and restored after every trial.
+struct TrialWorkspace {
+  topo::TpuCluster cluster{};
+  topo::SliceAllocator alloc{cluster};
+  std::optional<PhotonicRack> rack;
+  /// Steady-state ring traffic per slice of the template packing; the
+  /// template never changes, so each slice's rings are derived once.
+  std::vector<coll::SliceTraffic> traffic;
+
+  explicit TrialWorkspace(FailurePolicy policy) {
+    pack_template_rack(alloc);
+    if (policy == FailurePolicy::kOpticalRepair) rack.emplace(cluster, 0);
+  }
+
+  const coll::SliceTraffic* traffic_of(topo::TpuId victim) {
+    const auto owner = alloc.owner(victim);
+    if (!owner) return nullptr;
+    for (const auto& t : traffic) {
+      if (t.slice == *owner) return &t;
+    }
+    const topo::Slice* slice = alloc.slice(*owner);
+    if (slice == nullptr) return nullptr;
+    traffic.push_back(
+        coll::slice_traffic(cluster, *slice, coll::RingSelection::kUsableOnly));
+    return &traffic.back();
+  }
+
+  FailureImpact assess(topo::TpuId victim, FailurePolicy policy,
+                       const FailureImpactParams& params) {
+    const topo::ChipState before = cluster.state(victim);
+    FailureImpact impact = assess_failure(cluster, alloc, victim, policy, params,
+                                          rack.has_value() ? &*rack : nullptr,
+                                          traffic_of(victim));
+    // Restore the template: un-fail the victim, tear down repair circuits.
+    cluster.set_state(victim, before);
+    if (rack.has_value()) {
+      for (const fabric::CircuitId id : impact.repair_circuits)
+        rack->fabric().disconnect(id);
+    }
+    return impact;
+  }
+};
+
+}  // namespace
+
+void pack_template_rack(topo::SliceAllocator& alloc, topo::RackId rack) {
+  (void)alloc.allocate_at(rack, topo::Coord{{0, 0, 0}}, topo::Shape{{4, 4, 2}});
+  (void)alloc.allocate_at(rack, topo::Coord{{0, 0, 2}}, topo::Shape{{4, 4, 1}});
+  (void)alloc.allocate_at(rack, topo::Coord{{0, 0, 3}}, topo::Shape{{4, 2, 1}});
+}
+
+std::vector<FailureImpact> assess_failures_batch(FailurePolicy policy,
+                                                 const std::vector<topo::TpuId>& victims,
+                                                 const FailureImpactParams& params,
+                                                 unsigned threads) {
+  // Assessment is a pure function of the victim given the reset template, so
+  // each distinct victim is assessed once and repeated draws share the result
+  // (a Monte-Carlo sweep draws from one rack, so the distinct count is
+  // bounded by the rack size however long the horizon is).
+  std::vector<topo::TpuId> unique = victims;
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+
+  std::vector<FailureImpact> unique_impacts(unique.size());
+  std::optional<util::ThreadPool> local;
+  util::ThreadPool& pool =
+      threads == 0 ? util::ThreadPool::shared() : local.emplace(threads);
+  std::vector<std::unique_ptr<TrialWorkspace>> workspaces(pool.size());
+  pool.run(unique.size(), [&](std::size_t i, unsigned worker) {
+    auto& ws = workspaces[worker];
+    if (ws == nullptr) ws = std::make_unique<TrialWorkspace>(policy);
+    unique_impacts[i] = ws->assess(unique[i], policy, params);
+  });
+
+  std::vector<FailureImpact> impacts(victims.size());
+  for (std::size_t i = 0; i < victims.size(); ++i) {
+    const auto it = std::lower_bound(unique.begin(), unique.end(), victims[i]);
+    impacts[i] = unique_impacts[static_cast<std::size_t>(it - unique.begin())];
+  }
+  return impacts;
+}
 
 AvailabilityReport run_failure_study(FailurePolicy policy,
                                      const FailureStudyParams& params) {
   AvailabilityReport report;
   report.policy = policy;
-  Rng rng{params.seed};
 
-  // Fleet failure rate: fleet_chips / mtbf per hour.
+  // Fleet failure rate: fleet_chips / mtbf per hour.  The arrival process
+  // is one serial stream: it alone decides how many failures the horizon
+  // sees, independent of how trials are later scheduled.
   const double rate_per_hour =
       static_cast<double>(params.fleet_chips) / params.mtbf_hours;
+  Rng arrivals{params.seed};
+  std::size_t trials = 0;
+  for (double t = arrivals.exponential(rate_per_hour); t < params.horizon_hours;
+       t += arrivals.exponential(rate_per_hour)) {
+    ++trials;
+  }
+  report.failures = trials;
 
-  double t = rng.exponential(rate_per_hour);
-  while (t < params.horizon_hours) {
-    ++report.failures;
+  // Victim of trial i depends only on (seed, i): bit-identical at any
+  // thread count.
+  topo::TpuCluster template_cluster;
+  topo::SliceAllocator template_alloc{template_cluster};
+  pack_template_rack(template_alloc);
+  const auto allocated =
+      template_cluster.chips_in_state(topo::ChipState::kAllocated);
+  std::vector<topo::TpuId> victims(trials);
+  for (std::size_t i = 0; i < trials; ++i) {
+    Rng rng{util::task_seed(params.seed, i)};
+    victims[i] = allocated[rng.uniform_index(allocated.size())];
+  }
 
-    // Fresh representative rack per failure (independent-failures model).
-    topo::TpuCluster cluster;
-    topo::SliceAllocator alloc{cluster};
-    (void)alloc.allocate_at(0, topo::Coord{{0, 0, 0}}, topo::Shape{{4, 4, 2}});
-    (void)alloc.allocate_at(0, topo::Coord{{0, 0, 2}}, topo::Shape{{4, 4, 1}});
-    (void)alloc.allocate_at(0, topo::Coord{{0, 0, 3}}, topo::Shape{{4, 2, 1}});
+  const auto impacts =
+      assess_failures_batch(policy, victims, params.impact, params.threads);
 
-    // Pick a random allocated victim.
-    const auto allocated = cluster.chips_in_state(topo::ChipState::kAllocated);
-    const auto victim =
-        allocated[rng.uniform_index(allocated.size())];
-
-    PhotonicRack rack{cluster, 0};
-    const auto impact = assess_failure(
-        cluster, alloc, victim, policy, params.impact,
-        policy == FailurePolicy::kOpticalRepair ? &rack : nullptr);
-
+  // Fold in trial order so the floating-point sum is schedule-independent.
+  for (const FailureImpact& impact : impacts) {
     if (!impact.feasible) {
       ++report.unrecovered;
       // Unrecoverable in place: falls back to migration cost.
-      report.chip_hours_lost += static_cast<double>(cluster.chips_per_rack()) *
-                                params.impact.migration_time.to_seconds() / 3600.0;
+      report.chip_hours_lost +=
+          static_cast<double>(template_cluster.chips_per_rack()) *
+          params.impact.migration_time.to_seconds() / 3600.0;
     } else {
       report.chip_hours_lost += static_cast<double>(impact.blast_radius_chips) *
                                 impact.recovery_time.to_seconds() / 3600.0;
     }
-    t += rng.exponential(rate_per_hour);
   }
 
   const double fleet_hours =

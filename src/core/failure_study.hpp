@@ -7,9 +7,16 @@
 // shows how the rack-migration policy's 64-chip x minutes blast radius
 // compounds at scale while optical repair's 4-chip x microseconds cost
 // vanishes.
+//
+// The study is a deterministic parallel sweep (util/parallel): failure
+// times come from one serial stream seeded by `seed`, each trial draws its
+// victim from `task_seed(seed, trial)`, and trials are evaluated in
+// parallel against per-worker template racks that are reset between trials
+// instead of reconstructed.  Results are identical at any thread count.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/blast_radius.hpp"
 #include "util/rng.hpp"
@@ -26,6 +33,9 @@ struct FailureStudyParams {
   std::int32_t fleet_chips{4096};
   std::uint64_t seed{0xfa11};
   FailureImpactParams impact{};
+  /// Worker threads for trial evaluation; 0 means one per hardware thread.
+  /// The report is bit-identical for every value.
+  unsigned threads{0};
 };
 
 struct AvailabilityReport {
@@ -36,6 +46,22 @@ struct AvailabilityReport {
   /// 1 - lost / (fleet_chips * horizon).
   double availability{1.0};
 };
+
+/// Builds the representative packed rack every failure study assesses
+/// against (the Figure 5 packing with one free region): Slice-4 (4x4x2),
+/// Slice-3 (4x4x1), Slice-1 (4x2x1) on rack 0, leaving the 4x2x1 region at
+/// y in {2,3}, z=3 as the spare pool.
+void pack_template_rack(topo::SliceAllocator& alloc, topo::RackId rack = 0);
+
+/// Assesses one hypothetical failure per victim against the template rack,
+/// in parallel (`threads` as in FailureStudyParams).  Each worker builds
+/// the template cluster/allocation (and, for optical repair, the photonic
+/// rack fabric) once and resets it between trials, so the per-trial cost is
+/// the assessment itself.  Trials are independent; `impacts[i]` corresponds
+/// to `victims[i]` regardless of scheduling.
+[[nodiscard]] std::vector<FailureImpact> assess_failures_batch(
+    FailurePolicy policy, const std::vector<topo::TpuId>& victims,
+    const FailureImpactParams& params = {}, unsigned threads = 0);
 
 /// Runs the study for one policy.  Each failure is assessed against a
 /// fresh, representatively packed rack (the Figure 5 packing with one free

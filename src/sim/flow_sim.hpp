@@ -7,10 +7,15 @@
 // duration reflects congestion exactly: two transfers sharing a link each
 // get half its bandwidth, which is how the paper's "multiple transfers on
 // the same link" definition of congestion turns into measured slowdown.
+//
+// The progressive-filling solver is incremental: the flow->link incidence
+// is compressed once per phase into flat CSR tables, per-link unfrozen-flow
+// counters are maintained as flows freeze, and bottleneck selection scans a
+// dense active-link table that compacts out drained links, so selection
+// only revisits links that still carry unfrozen flows.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "collective/schedule.hpp"
@@ -22,7 +27,10 @@ namespace lp::sim {
 
 struct FlowResult {
   Duration completion{Duration::zero()};
-  /// Rate the flow had when it started (diagnostic).
+  /// Rate the flow had when it started (diagnostic).  Recorded for every
+  /// transfer: zero / sub-epsilon transfers complete instantly and report
+  /// the rate they would have started at (dedicated rate when optical, the
+  /// link capacity otherwise).
   Bandwidth initial_rate{Bandwidth::zero()};
 };
 
@@ -56,11 +64,6 @@ class FlowSimulator {
                                    TimelineTrace* trace = nullptr) const;
 
  private:
-  /// Max-min fair rates for the currently active flows.
-  void compute_rates(const std::vector<std::size_t>& active,
-                     const std::vector<const coll::Transfer*>& flows,
-                     std::vector<double>& rate_bps) const;
-
   Bandwidth link_capacity_;
 };
 

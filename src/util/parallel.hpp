@@ -1,0 +1,85 @@
+// Deterministic parallel sweep engine.
+//
+// Every headline experiment (bandwidth-utilization sweeps, failure-congestion
+// searches, Monte-Carlo availability studies) is an embarrassingly parallel
+// loop over independent trials.  This module provides the one primitive they
+// all share: a small persistent thread pool with `parallel_for` /
+// `parallel_reduce`, plus per-task RNG seeding so every result is
+// *bit-identical at any thread count*.
+//
+// Determinism contract:
+//   * Task bodies receive only their task index (and a stable worker index
+//     for scratch-space reuse); any randomness must come from
+//     `Rng{task_seed(base_seed, task_index)}`, never from a shared stream.
+//   * `parallel_reduce` folds per-task values in ascending task order, so
+//     floating-point accumulation order — and therefore the result — does
+//     not depend on the thread count or on scheduling.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace lp::util {
+
+/// A fixed-size pool of worker threads.  `threads == 1` runs everything
+/// inline on the calling thread (no workers are spawned), which is also the
+/// fallback when hardware concurrency is unknown.
+class ThreadPool {
+ public:
+  /// `threads == 0` means one thread per hardware thread.
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution streams, including the calling thread.
+  [[nodiscard]] unsigned size() const { return worker_count_ + 1; }
+
+  /// Runs `fn(task, worker)` for every task in [0, n).  `worker` is in
+  /// [0, size()) and identifies the executing stream, so callers can keep one
+  /// scratch workspace per worker.  The call blocks until all tasks finish;
+  /// the calling thread participates as worker 0.  Task bodies must not
+  /// throw; nested run() calls on the same pool execute inline on the
+  /// calling task's thread (worker index 0).
+  void run(std::size_t n, const std::function<void(std::size_t, unsigned)>& fn);
+
+  /// The process-wide default pool (sized to hardware concurrency).
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop(unsigned worker);
+
+  struct State;
+  State* state_;
+  unsigned worker_count_;
+};
+
+/// Derives the RNG seed for one task of a sweep.  The mix is a fixed
+/// splitmix64-style hash of (base_seed, task_index): it depends on nothing
+/// but those two values, so a task draws the same stream no matter which
+/// worker runs it or how many workers exist.
+[[nodiscard]] std::uint64_t task_seed(std::uint64_t base_seed, std::uint64_t task_index);
+
+/// parallel_for over [0, n) on `pool` (default: the shared pool).
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  ThreadPool* pool = nullptr);
+
+/// Maps every task index to a value and folds the values in ascending task
+/// order: `acc = reduce(acc, map(i))` for i = 0..n-1.  The map runs in
+/// parallel; the fold is sequential over the buffered per-task values, so
+/// the result is identical at any thread count.
+template <typename T, typename Map, typename Reduce>
+[[nodiscard]] T parallel_reduce(std::size_t n, T init, Map&& map, Reduce&& reduce,
+                                ThreadPool* pool = nullptr) {
+  std::vector<T> values(n, init);
+  parallel_for(
+      n, [&](std::size_t i) { values[i] = map(i); }, pool);
+  T acc = std::move(init);
+  for (std::size_t i = 0; i < n; ++i) acc = reduce(std::move(acc), std::move(values[i]));
+  return acc;
+}
+
+}  // namespace lp::util

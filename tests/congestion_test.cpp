@@ -151,6 +151,26 @@ TEST_F(PathSearch, FailedChipsExcluded) {
   for (TpuId t : *path) EXPECT_NE(t, mid);
 }
 
+// Regression: the repair-path BFS must stay inside the rack of `from`.  A
+// spare in another rack is unreachable by construction, and every hop of a
+// successful path lies in the source's rack even when the search detours.
+TEST_F(PathSearch, CrossRackTargetUnreachable) {
+  const TpuId a = cluster_.chip_at(0, Coord{{0, 0, 0}});
+  const TpuId other = cluster_.chip_at(1, Coord{{0, 0, 0}});
+  EXPECT_FALSE(find_uncongested_path(cluster_, alloc_, no_busy_, a, other).has_value());
+}
+
+TEST_F(PathSearch, PathNeverLeavesSourceRack) {
+  const topo::RackId rack = 3;
+  const TpuId from = cluster_.chip_at(rack, Coord{{0, 0, 0}});
+  const TpuId to = cluster_.chip_at(rack, Coord{{2, 3, 1}});
+  // Wall off the straight X corridor so the search has to detour.
+  cluster_.set_state(cluster_.chip_at(rack, Coord{{1, 0, 0}}), ChipState::kFailed);
+  const auto path = find_uncongested_path(cluster_, alloc_, no_busy_, from, to);
+  ASSERT_TRUE(path.has_value());
+  for (TpuId hop : *path) EXPECT_EQ(cluster_.rack_of(hop), rack);
+}
+
 TEST_F(PathSearch, LinksOnChipPathHandlesWraparound) {
   const std::vector<TpuId> path{cluster_.chip_at(0, Coord{{3, 0, 0}}),
                                 cluster_.chip_at(0, Coord{{0, 0, 0}})};

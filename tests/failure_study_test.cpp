@@ -1,6 +1,11 @@
 // Tests of the Monte-Carlo availability study.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
 #include "core/failure_study.hpp"
 
 namespace lp::core {
@@ -53,6 +58,74 @@ TEST(FailureStudy, AvailabilityBounded) {
     const auto report = run_failure_study(policy, quick_params());
     EXPECT_GE(report.availability, 0.0);
     EXPECT_LE(report.availability, 1.0);
+  }
+}
+
+// The parallel sweep's determinism contract: the report is bit-identical at
+// every thread count (victims come from task_seed(seed, trial), the fold
+// runs in trial order).
+TEST(FailureStudy, ReportIdenticalAtAnyThreadCount) {
+  for (const auto policy : {FailurePolicy::kRackMigration,
+                            FailurePolicy::kElectricalRepair,
+                            FailurePolicy::kOpticalRepair}) {
+    auto serial = quick_params();
+    serial.threads = 1;
+    auto wide = quick_params();
+    wide.threads = std::max(4u, std::thread::hardware_concurrency());
+    const auto a = run_failure_study(policy, serial);
+    const auto b = run_failure_study(policy, wide);
+    EXPECT_EQ(a.failures, b.failures);
+    EXPECT_EQ(a.unrecovered, b.unrecovered);
+    EXPECT_EQ(a.chip_hours_lost, b.chip_hours_lost) << "must be bit-identical";
+    EXPECT_EQ(a.availability, b.availability);
+  }
+}
+
+// The batch path (template workspace reset between trials) must agree with
+// a from-scratch world per victim.
+TEST(FailureStudy, BatchMatchesFreshSerialAssessment) {
+  topo::TpuCluster cluster;
+  topo::SliceAllocator alloc{cluster};
+  pack_template_rack(alloc);
+  std::vector<topo::TpuId> victims;
+  for (topo::TpuId chip = 0; chip < cluster.chips_per_rack(); chip += 5) {
+    if (alloc.owner(chip)) victims.push_back(chip);
+  }
+  ASSERT_FALSE(victims.empty());
+
+  const auto batch =
+      assess_failures_batch(FailurePolicy::kElectricalRepair, victims, {}, 4);
+  ASSERT_EQ(batch.size(), victims.size());
+  for (std::size_t i = 0; i < victims.size(); ++i) {
+    topo::TpuCluster fresh;
+    topo::SliceAllocator fresh_alloc{fresh};
+    pack_template_rack(fresh_alloc);
+    const auto want = assess_failure(fresh, fresh_alloc, victims[i],
+                                     FailurePolicy::kElectricalRepair, {});
+    EXPECT_EQ(batch[i].blast_radius_chips, want.blast_radius_chips) << victims[i];
+    EXPECT_EQ(batch[i].jobs_interrupted, want.jobs_interrupted) << victims[i];
+    EXPECT_EQ(batch[i].recovery_time, want.recovery_time) << victims[i];
+    EXPECT_EQ(batch[i].feasible, want.feasible) << victims[i];
+    EXPECT_EQ(batch[i].congestion_free, want.congestion_free) << victims[i];
+  }
+}
+
+// Repeated victims share one assessment; the optical policy exercises the
+// fabric teardown between trials (stale circuits would change the result).
+TEST(FailureStudy, BatchDuplicateVictimsConsistent) {
+  topo::TpuCluster cluster;
+  topo::SliceAllocator alloc{cluster};
+  pack_template_rack(alloc);
+  topo::TpuId v = 0;
+  while (!alloc.owner(v)) ++v;
+  const std::vector<topo::TpuId> victims{v, v, v, v};
+  const auto batch = assess_failures_batch(FailurePolicy::kOpticalRepair, victims, {}, 2);
+  ASSERT_EQ(batch.size(), 4u);
+  for (std::size_t i = 1; i < batch.size(); ++i) {
+    EXPECT_EQ(batch[i].blast_radius_chips, batch[0].blast_radius_chips);
+    EXPECT_EQ(batch[i].recovery_time, batch[0].recovery_time);
+    EXPECT_EQ(batch[i].feasible, batch[0].feasible);
+    EXPECT_EQ(batch[i].congestion_free, batch[0].congestion_free);
   }
 }
 

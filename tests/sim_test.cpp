@@ -171,6 +171,36 @@ TEST(FlowSim, EmptyPhase) {
   EXPECT_EQ(r.duration, Duration::zero());
 }
 
+// Zero- and sub-epsilon-byte transfers complete instantly and still report
+// the rate they would have started at — no flow is left with a zero
+// initial_rate just because it never reached the filling loop.
+TEST(FlowSim, ZeroByteTransfersRecordInitialRate) {
+  const FlowSimulator sim{Bandwidth::gbps(100)};
+  const DirectedLink link{0, 0, +1};
+  Transfer optical_zero;
+  optical_zero.src = 2;
+  optical_zero.dst = 3;
+  optical_zero.dedicated_rate = Bandwidth::gbps(300);
+  const auto r = sim.run_phase({
+      electrical(0, 1, DataSize::zero(), {link}),
+      // 1e-8 bytes = 8e-8 bits, below the solver's done-epsilon.
+      electrical(1, 2, DataSize::bytes(1e-8), {DirectedLink{1, 0, +1}}),
+      optical_zero,
+      electrical(0, 1, DataSize::gib(1), {link}),
+  });
+  ASSERT_EQ(r.flows.size(), 4u);
+  EXPECT_EQ(r.flows[0].completion, Duration::zero());
+  EXPECT_EQ(r.flows[1].completion, Duration::zero());
+  EXPECT_EQ(r.flows[2].completion, Duration::zero());
+  EXPECT_NEAR(r.flows[0].initial_rate.to_gbps(), 100.0, 1e-9);
+  EXPECT_NEAR(r.flows[1].initial_rate.to_gbps(), 100.0, 1e-9);
+  EXPECT_NEAR(r.flows[2].initial_rate.to_gbps(), 300.0, 1e-9);
+  // The real flow is unaffected by its instantly-done link mate: full rate.
+  EXPECT_NEAR(r.flows[3].initial_rate.to_gbps(), 100.0, 1e-9);
+  EXPECT_NEAR(r.duration.to_seconds(),
+              transfer_time(DataSize::gib(1), Bandwidth::gbps(100)).to_seconds(), 1e-9);
+}
+
 // --- Schedule-level: flow sim must reproduce the analytic cost model --------
 
 class ScheduleSim : public ::testing::Test {
