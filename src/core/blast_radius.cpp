@@ -101,6 +101,12 @@ FailureImpact assess_failure(TpuCluster& cluster, topo::SliceAllocator& alloc,
       const auto attempt = attempt_electrical_repair(cluster, alloc, failed);
       impact.feasible = attempt.feasible;
       impact.congestion_free = attempt.feasible;
+      if (!attempt.feasible) {
+        impact.cause = slice != nullptr &&
+                               cluster.free_chips_in_rack(slice->rack).empty()
+                           ? UnrecoveredCause::kSpareExhausted
+                           : UnrecoveredCause::kPlanFailure;
+      }
       // In-place repair touches the failed chip and the spare.
       impact.blast_radius_chips = attempt.feasible ? 2 : cluster.chips_per_rack();
       impact.recovery_time =
@@ -108,13 +114,18 @@ FailureImpact assess_failure(TpuCluster& cluster, topo::SliceAllocator& alloc,
       break;
     }
     case FailurePolicy::kOpticalRepair: {
+      impact.cause = UnrecoveredCause::kPlanFailure;
       if (rack_fabric == nullptr || slice == nullptr) break;
       const auto neighbors =
           steady_traffic != nullptr
               ? broken_ring_neighbors(*steady_traffic, failed)
               : broken_ring_neighbors(cluster, *slice, failed);
       const auto free_chips = cluster.free_chips_in_rack(slice->rack);
-      if (free_chips.empty() || neighbors.empty()) break;
+      if (free_chips.empty()) {
+        impact.cause = UnrecoveredCause::kSpareExhausted;
+        break;
+      }
+      if (neighbors.empty()) break;
 
       std::vector<fabric::GlobalTile> candidates;
       candidates.reserve(free_chips.size());
@@ -125,7 +136,10 @@ FailureImpact assess_failure(TpuCluster& cluster, topo::SliceAllocator& alloc,
 
       const auto choice =
           routing::choose_spare(rack_fabric->fabric(), candidates, neighbor_tiles);
-      if (!choice) break;
+      if (!choice) {
+        impact.cause = UnrecoveredCause::kSpareExhausted;
+        break;
+      }
       routing::RepairRequest req;
       req.spare = candidates[choice.value()];
       req.neighbors = neighbor_tiles;
@@ -133,6 +147,7 @@ FailureImpact assess_failure(TpuCluster& cluster, topo::SliceAllocator& alloc,
       impact.repair_circuits = plan.circuits;
       impact.feasible = plan.complete;
       impact.congestion_free = plan.complete;  // dedicated circuits
+      if (plan.complete) impact.cause = UnrecoveredCause::kNone;
       // Blast radius: the failed chip's server (it is pulled for service)
       // — the paper's headline reduction.
       impact.blast_radius_chips =

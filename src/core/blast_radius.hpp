@@ -36,6 +36,22 @@ struct FailureImpactParams {
   Duration migration_time{Duration::seconds(600.0)};
 };
 
+/// Why an in-place repair could not handle a failure (feasible=false).
+enum class UnrecoveredCause : std::uint8_t {
+  kNone = 0,            ///< recovered (or migration, which cannot fail)
+  kSpareExhausted = 1,  ///< no free chip left in the rack to stand in
+  kPlanFailure = 2,     ///< spares existed but no congestion-free plan/route
+};
+
+[[nodiscard]] constexpr const char* to_string(UnrecoveredCause c) {
+  switch (c) {
+    case UnrecoveredCause::kNone: return "none";
+    case UnrecoveredCause::kSpareExhausted: return "spare-exhausted";
+    case UnrecoveredCause::kPlanFailure: return "plan-failure";
+  }
+  return "?";
+}
+
 struct FailureImpact {
   FailurePolicy policy{};
   /// Chips whose assignment changes or that go idle because of the failure.
@@ -48,6 +64,8 @@ struct FailureImpact {
   bool congestion_free{false};
   /// Whether the policy could handle the failure at all.
   bool feasible{false};
+  /// When feasible=false, what exhausted the policy.
+  UnrecoveredCause cause{UnrecoveredCause::kNone};
   /// Circuits an optical repair established on the rack fabric.  Callers
   /// that assess many hypothetical failures against one fabric (the batch
   /// sweeps) disconnect these to restore the fabric between trials.

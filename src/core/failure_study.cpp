@@ -133,6 +133,11 @@ AvailabilityReport run_failure_study(FailurePolicy policy,
   for (const FailureImpact& impact : impacts) {
     if (!impact.feasible) {
       ++report.unrecovered;
+      if (impact.cause == UnrecoveredCause::kSpareExhausted) {
+        ++report.unrecovered_spare_exhausted;
+      } else {
+        ++report.unrecovered_plan_failure;
+      }
       // Unrecoverable in place: falls back to migration cost.
       report.chip_hours_lost +=
           static_cast<double>(template_cluster.chips_per_rack()) *
@@ -141,6 +146,187 @@ AvailabilityReport run_failure_study(FailurePolicy policy,
       report.chip_hours_lost += static_cast<double>(impact.blast_radius_chips) *
                                 impact.recovery_time.to_seconds() / 3600.0;
     }
+  }
+
+  const double fleet_hours =
+      static_cast<double>(params.fleet_chips) * params.horizon_hours;
+  report.availability = 1.0 - report.chip_hours_lost / fleet_hours;
+  return report;
+}
+
+namespace {
+
+/// The component study's representative fabric: two wafers bridged by one
+/// 64-fiber bundle per edge-tile pair, carrying a neighbor ring on tiles
+/// 0..27 of each wafer (2 lambdas per circuit) plus cross-wafer circuits.
+/// Tiles 28..31 of each wafer stay idle — the spare pool rung 3 draws from.
+constexpr std::uint32_t kRingTiles = 28;
+constexpr std::uint32_t kBaselineLambdas = 2;
+
+fabric::FabricConfig component_fabric_config() {
+  fabric::FabricConfig config;
+  config.wafer_count = 2;
+  return config;
+}
+
+/// Per-worker reusable world for the component-fault study.
+struct ComponentWorkspace {
+  ComponentStudyParams params;
+  fabric::Fabric fab;
+  fault::FaultInjector injector;
+  fault::HealthMonitor monitor;
+
+  explicit ComponentWorkspace(const ComponentStudyParams& p)
+      : params{p},
+        fab{component_fabric_config()},
+        injector{fab, p.model, p.seed},
+        monitor{p.health} {
+    // Bundles between wafer 0's east column and wafer 1's west column.
+    const auto& w = fab.wafer(0);
+    for (std::int32_t row = 0; row < w.rows(); ++row) {
+      const auto east = w.tile_at({row, w.cols() - 1});
+      const auto west = w.tile_at({row, 0});
+      fab.add_fiber_link({0, east}, {1, west}, 64);
+    }
+    establish_baseline();
+  }
+
+  void establish_baseline() {
+    for (fabric::WaferId wafer = 0; wafer < fab.wafer_count(); ++wafer) {
+      for (std::uint32_t t = 0; t < kRingTiles; ++t) {
+        (void)fab.connect({wafer, t}, {wafer, (t + 1) % kRingTiles},
+                          kBaselineLambdas);
+      }
+    }
+    // Cross-wafer circuits from three of the bundle tiles into wafer 1's
+    // ring (the fourth bundle stays spare for rerouting headroom).
+    const auto& w = fab.wafer(0);
+    for (std::int32_t row = 0; row < w.rows() - 1; ++row) {
+      (void)fab.connect({0, w.tile_at({row, w.cols() - 1})},
+                        {1, w.tile_at({row, 0})}, kBaselineLambdas);
+    }
+  }
+
+  /// Tiles with no endpoint wavelength in use: candidate spares.  Dead
+  /// chips are excluded automatically — the applied fault set parks their
+  /// endpoint wavelengths.
+  [[nodiscard]] std::vector<fabric::GlobalTile> free_tiles() const {
+    std::vector<fabric::GlobalTile> out;
+    for (fabric::WaferId wafer = 0; wafer < fab.wafer_count(); ++wafer) {
+      const auto& w = fab.wafer(wafer);
+      for (fabric::TileId t = 0; t < w.tile_count(); ++t) {
+        if (w.tile(t).tx_used() == 0 && w.tile(t).rx_used() == 0) {
+          out.push_back({wafer, t});
+        }
+      }
+    }
+    return out;
+  }
+
+  struct TrialResult {
+    std::uint64_t faults{0};
+    bool burst{false};
+    std::uint64_t degraded{0};
+    std::uint64_t hard_down{0};
+    std::uint64_t unrecovered{0};
+    std::array<std::uint64_t, routing::kRepairRungCount> recovered_by{};
+    std::array<std::uint64_t, routing::kRepairRungCount> attempts{};
+    double chip_hours{0.0};
+    double recovery_seconds{0.0};
+  };
+
+  TrialResult run_trial(std::uint64_t trial) {
+    TrialResult r;
+    // One stream per trial: the injector's draws come first, then the
+    // per-victim electrical-feasibility draws, so the whole trial is a pure
+    // function of (seed, trial).
+    Rng rng{util::task_seed(params.seed, trial)};
+    const std::vector<fault::Fault> faults = injector.sample(rng);
+    fault::FaultSet fs;
+    fs.add_all(faults);
+    r.faults = faults.size();
+    r.burst = faults.size() > 1;
+
+    fs.apply_to(fab, params.model.quarantine_threshold);
+    const auto diagnoses = monitor.scan(fab, fs);
+    for (const fault::CircuitDiagnosis& d : diagnoses) {
+      ++r.degraded;
+      if (d.health == fault::CircuitHealth::kDown) ++r.hard_down;
+
+      routing::EscalationOptions opts;
+      opts.retries_per_rung = params.retries_per_rung;
+      opts.spare_candidates = free_tiles();
+      opts.electrical_feasible = rng.bernoulli(params.electrical_feasible_p);
+      opts.validate = [this, &fs](const fabric::Fabric& f, fabric::CircuitId id) {
+        return monitor.diagnose(f, fs, id).health == fault::CircuitHealth::kHealthy;
+      };
+      const routing::EscalationOutcome out =
+          routing::escalate_repair(fab, fault::to_degraded(d), opts);
+      for (std::size_t k = 0; k < routing::kRepairRungCount; ++k) {
+        r.attempts[k] += out.attempts[k];
+      }
+      if (out.recovered) {
+        const std::size_t k = routing::rung_index(out.rung);
+        ++r.recovered_by[k];
+        r.chip_hours += static_cast<double>(params.rung_blast_chips[k]) *
+                        out.latency.to_seconds() / 3600.0;
+        r.recovery_seconds += out.latency.to_seconds();
+      } else {
+        ++r.unrecovered;
+      }
+    }
+
+    // Restore the template for the next trial: lift the fault overlay, tear
+    // every circuit down, re-establish the baseline.
+    fs.revert(fab);
+    for (const fabric::CircuitId id : fab.circuit_ids()) fab.disconnect(id);
+    establish_baseline();
+    return r;
+  }
+};
+
+}  // namespace
+
+ComponentAvailabilityReport run_component_fault_study(
+    const ComponentStudyParams& params) {
+  ComponentAvailabilityReport report;
+
+  // Fault arrivals, like the chip study: one serial stream decides how many
+  // events the horizon sees.
+  const double rate_per_hour =
+      static_cast<double>(params.fleet_chips) / params.component_mtbf_hours;
+  Rng arrivals{params.seed};
+  std::size_t trials = 0;
+  for (double t = arrivals.exponential(rate_per_hour); t < params.horizon_hours;
+       t += arrivals.exponential(rate_per_hour)) {
+    ++trials;
+  }
+  report.fault_events = trials;
+
+  std::vector<ComponentWorkspace::TrialResult> results(trials);
+  std::optional<util::ThreadPool> local;
+  util::ThreadPool& pool = params.threads == 0 ? util::ThreadPool::shared()
+                                               : local.emplace(params.threads);
+  std::vector<std::unique_ptr<ComponentWorkspace>> workspaces(pool.size());
+  pool.run(trials, [&](std::size_t i, unsigned worker) {
+    auto& ws = workspaces[worker];
+    if (ws == nullptr) ws = std::make_unique<ComponentWorkspace>(params);
+    results[i] = ws->run_trial(i);
+  });
+
+  // Fold in trial order: schedule-independent sums.
+  for (const auto& r : results) {
+    report.faults_injected += r.faults;
+    if (r.burst) ++report.bursts;
+    report.degraded_circuits += r.degraded;
+    report.hard_down_circuits += r.hard_down;
+    report.unrecovered += r.unrecovered;
+    for (std::size_t k = 0; k < routing::kRepairRungCount; ++k) {
+      report.recovered_by[k] += r.recovered_by[k];
+      report.attempts[k] += r.attempts[k];
+    }
+    report.chip_hours_lost += r.chip_hours;
+    report.recovery_seconds_total += r.recovery_seconds;
   }
 
   const double fleet_hours =

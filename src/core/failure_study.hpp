@@ -15,10 +15,14 @@
 // instead of reconstructed.  Results are identical at any thread count.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "core/blast_radius.hpp"
+#include "fault/fault.hpp"
+#include "fault/health.hpp"
+#include "routing/repair.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
@@ -41,7 +45,11 @@ struct FailureStudyParams {
 struct AvailabilityReport {
   FailurePolicy policy{};
   std::uint64_t failures{0};
+  /// Failures the policy could not handle in place (fell back to migration):
+  /// the total, and its split by cause.
   std::uint64_t unrecovered{0};
+  std::uint64_t unrecovered_spare_exhausted{0};
+  std::uint64_t unrecovered_plan_failure{0};
   double chip_hours_lost{0.0};
   /// 1 - lost / (fleet_chips * horizon).
   double availability{1.0};
@@ -69,5 +77,69 @@ void pack_template_rack(topo::SliceAllocator& alloc, topo::RackId rack = 0);
 /// isolates the per-failure cost difference between policies.
 [[nodiscard]] AvailabilityReport run_failure_study(FailurePolicy policy,
                                                    const FailureStudyParams& params = {});
+
+// ---------------------------------------------------------------------------
+// Component-level fault Monte-Carlo (fault/ + the repair ladder).
+//
+// Where run_failure_study kills whole chips, this study injects typed
+// component faults (stuck/drifted MZIs, waveguide loss drift, fiber cuts,
+// dead lasers, chip deaths — including correlated per-wafer bursts) into a
+// live two-wafer fabric carrying a baseline circuit load, detects degraded
+// circuits with the health monitor, and recovers each one by climbing the
+// repair ladder.  It reports per-rung recovery counts and the availability
+// implied by each rung's blast radius and recovery latency.
+// ---------------------------------------------------------------------------
+
+struct ComponentStudyParams {
+  /// Per-chip mean time between *component* faults (more frequent than the
+  /// whole-chip MTBF of the chip-death study).
+  double component_mtbf_hours{25000.0};
+  double horizon_hours{24.0 * 90.0};
+  std::int32_t fleet_chips{4096};
+  std::uint64_t seed{0xc0fa};
+  fault::FaultModelParams model{};
+  fault::HealthMonitorParams health{};
+  /// Probability that the electrical torus has a congestion-free detour
+  /// when rung 4 is consulted (usually low, per Figure 6).
+  double electrical_feasible_p{0.1};
+  std::uint32_t retries_per_rung{2};
+  /// Chips idled while each rung's recovery runs (index = rung): the
+  /// optical rungs touch the failed chip's server, the electrical detour
+  /// only the endpoints, migration the whole rack.
+  std::array<std::int32_t, routing::kRepairRungCount> rung_blast_chips{
+      {4, 4, 4, 2, 64}};
+  /// Worker threads; 0 means one per hardware thread.  The report is
+  /// bit-identical for every value.
+  unsigned threads{0};
+};
+
+struct ComponentAvailabilityReport {
+  /// Poisson fault events over the horizon (= Monte-Carlo trials).
+  std::uint64_t fault_events{0};
+  /// Components faulted, counting correlated burst extras.
+  std::uint64_t faults_injected{0};
+  /// Trials whose event was a correlated multi-component burst.
+  std::uint64_t bursts{0};
+  /// Circuits the health monitor flagged (degraded or down).
+  std::uint64_t degraded_circuits{0};
+  /// Subset that were hard down (no light at the receiver).
+  std::uint64_t hard_down_circuits{0};
+  /// Recoveries by the rung that achieved them (index = rung).
+  std::array<std::uint64_t, routing::kRepairRungCount> recovered_by{};
+  /// Total attempts per rung, including successful ones.
+  std::array<std::uint64_t, routing::kRepairRungCount> attempts{};
+  std::uint64_t unrecovered{0};
+  double chip_hours_lost{0.0};
+  /// Total wall-clock recovery time across all repairs.
+  double recovery_seconds_total{0.0};
+  double availability{1.0};
+};
+
+/// Runs the component-fault study.  Deterministic parallel sweep: the
+/// arrival count comes from one serial stream, trial i draws everything
+/// (faults, electrical feasibility) from Rng{task_seed(seed, i)}, and
+/// per-trial results fold in trial order — bit-identical at any `threads`.
+[[nodiscard]] ComponentAvailabilityReport run_component_fault_study(
+    const ComponentStudyParams& params = {});
 
 }  // namespace lp::core

@@ -1,0 +1,86 @@
+#include "fault/health.hpp"
+
+#include <cassert>
+
+#include "lightpath/circuit.hpp"
+
+namespace lp::fault {
+
+using fabric::Direction;
+using fabric::GlobalTile;
+
+HealthMonitor::HealthMonitor(HealthMonitorParams params) : params_{params} {}
+
+CircuitDiagnosis HealthMonitor::diagnose(const fabric::Fabric& fab,
+                                         const FaultSet& faults,
+                                         fabric::CircuitId id) const {
+  const fabric::Circuit* c = fab.circuit(id);
+  assert(c != nullptr);
+
+  CircuitDiagnosis diag;
+  diag.id = id;
+  diag.src_dead = faults.chip_dead(c->src);
+  diag.dst_dead = faults.chip_dead(c->dst);
+  diag.dead_lasers = faults.dead_lasers(c->src);
+
+  // Walk the light path: every hop traverses the exit switch of the tile it
+  // leaves and the entry switch of the tile it reaches, and rides the
+  // directed waveguide edge between them.
+  for (const auto& seg : c->segments) {
+    const fabric::Wafer& w = fab.wafer(seg.wafer);
+    fabric::TileId at = seg.from;
+    for (Direction d : seg.hops) {
+      const GlobalTile here{seg.wafer, at};
+      if (faults.mzi_stuck(here, d)) diag.hard_down = true;
+      diag.fault_excess += faults.mzi_drift_excess(here, d);
+      diag.fault_excess += faults.waveguide_excess(here, d);
+      const auto n = w.neighbor(at, d);
+      if (!n) break;  // malformed segment; nothing further to attribute
+      const GlobalTile there{seg.wafer, *n};
+      if (faults.mzi_stuck(there, opposite(d))) diag.hard_down = true;
+      diag.fault_excess += faults.mzi_drift_excess(there, opposite(d));
+      at = *n;
+    }
+  }
+  if (const auto link = fab.fiber_link_of(id); link && faults.fiber_cut(*link)) {
+    diag.hard_down = true;
+  }
+
+  // Re-close the budget at the faulted loss.
+  const phys::LinkBudget budget{fab.config().budget};
+  const phys::CircuitProfile profile = profile_of(*c, fab.config().wafer.tile);
+  diag.budget = budget.evaluate_at_loss(budget.path_loss(profile) + diag.fault_excess,
+                                        profile.mzi_traversals);
+  diag.budget_failed =
+      !diag.budget.closes || diag.budget.margin < params_.min_margin;
+
+  if (diag.hard_down || diag.src_dead || diag.dst_dead) {
+    diag.health = CircuitHealth::kDown;
+  } else if (diag.budget_failed || diag.dead_lasers > 0) {
+    diag.health = CircuitHealth::kDegraded;
+  }
+  return diag;
+}
+
+std::vector<CircuitDiagnosis> HealthMonitor::scan(const fabric::Fabric& fab,
+                                                  const FaultSet& faults) const {
+  std::vector<CircuitDiagnosis> unhealthy;
+  for (fabric::CircuitId id : fab.circuit_ids()) {
+    CircuitDiagnosis diag = diagnose(fab, faults, id);
+    if (diag.health != CircuitHealth::kHealthy) unhealthy.push_back(diag);
+  }
+  return unhealthy;
+}
+
+routing::DegradedCircuit to_degraded(const CircuitDiagnosis& d) {
+  routing::DegradedCircuit victim;
+  victim.id = d.id;
+  victim.hard_down = d.hard_down;
+  victim.budget_failed = d.budget_failed;
+  victim.src_dead = d.src_dead;
+  victim.dst_dead = d.dst_dead;
+  victim.dead_lasers = d.dead_lasers;
+  return victim;
+}
+
+}  // namespace lp::fault

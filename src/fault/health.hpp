@@ -1,0 +1,85 @@
+// Degraded-circuit detection.
+//
+// The HealthMonitor walks an established circuit's light path against the
+// active FaultSet and recomputes its link budget (phys/link_budget) with the
+// fault-induced excess losses folded in.  A circuit is:
+//
+//   * kDown     — light no longer reaches the receiver: a stuck MZI on the
+//                 path, a cut fiber, or a dead endpoint chip;
+//   * kDegraded — the light path works but the re-evaluated budget fails to
+//                 close, the remaining margin dips under a configurable
+//                 threshold, or source lasers died (the circuit must re-lock);
+//   * kHealthy  — none of the above.
+//
+// scan() reports every unhealthy circuit in ascending id order so repair
+// sweeps are deterministic; to_degraded() lowers a diagnosis to the
+// observation flags the repair ladder (routing/repair) consumes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "lightpath/fabric.hpp"
+#include "phys/link_budget.hpp"
+#include "routing/repair.hpp"
+#include "util/units.hpp"
+
+namespace lp::fault {
+
+enum class CircuitHealth : std::uint8_t { kHealthy = 0, kDegraded = 1, kDown = 2 };
+
+[[nodiscard]] constexpr const char* to_string(CircuitHealth h) {
+  switch (h) {
+    case CircuitHealth::kHealthy: return "healthy";
+    case CircuitHealth::kDegraded: return "degraded";
+    case CircuitHealth::kDown: return "down";
+  }
+  return "?";
+}
+
+struct HealthMonitorParams {
+  /// Minimum remaining link-budget margin before a circuit is declared
+  /// degraded even though its pre-FEC BER still clears the FEC threshold
+  /// (running at zero margin one drift away from an outage is not healthy).
+  Decibel min_margin{Decibel::db(0.5)};
+};
+
+struct CircuitDiagnosis {
+  fabric::CircuitId id{0};
+  CircuitHealth health{CircuitHealth::kHealthy};
+  bool hard_down{false};      ///< stuck MZI on the path or cut fiber
+  bool budget_failed{false};  ///< re-evaluated budget fails or margin < threshold
+  bool src_dead{false};
+  bool dst_dead{false};
+  std::uint32_t dead_lasers{0};
+  /// Fault-induced extra path loss (waveguide + MZI drift terms).
+  Decibel fault_excess{Decibel::zero()};
+  /// Budget re-evaluated at the faulted loss.
+  phys::LinkBudgetReport budget{};
+};
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(HealthMonitorParams params = {});
+
+  [[nodiscard]] const HealthMonitorParams& params() const { return params_; }
+
+  /// Diagnoses one established circuit against the fault set.  `id` must
+  /// name an established circuit.
+  [[nodiscard]] CircuitDiagnosis diagnose(const fabric::Fabric& fab,
+                                          const FaultSet& faults,
+                                          fabric::CircuitId id) const;
+
+  /// Every unhealthy circuit, ascending id.
+  [[nodiscard]] std::vector<CircuitDiagnosis> scan(const fabric::Fabric& fab,
+                                                   const FaultSet& faults) const;
+
+ private:
+  HealthMonitorParams params_;
+};
+
+/// Lowers a diagnosis to the ladder's input.
+[[nodiscard]] routing::DegradedCircuit to_degraded(const CircuitDiagnosis& d);
+
+}  // namespace lp::fault

@@ -14,8 +14,12 @@ Fabric::Fabric(FabricConfig config)
 std::size_t Fabric::add_fiber_link(GlobalTile a, GlobalTile b, std::uint32_t fibers,
                                    Length length) {
   fiber_links_.push_back(FiberLink{.a = a, .b = b, .fibers = fibers, .used = 0,
-                                   .length = length});
+                                   .length = length, .down = false});
   return fiber_links_.size() - 1;
+}
+
+void Fabric::set_fiber_link_down(std::size_t index, bool down) {
+  if (index < fiber_links_.size()) fiber_links_[index].down = down;
 }
 
 Bandwidth Fabric::per_wavelength_rate() const {
@@ -112,7 +116,7 @@ std::optional<Fabric::FiberChoice> Fabric::find_fiber(WaferId from, WaferId to,
                                                       std::uint32_t fibers) const {
   for (std::size_t i = 0; i < fiber_links_.size(); ++i) {
     const FiberLink& link = fiber_links_[i];
-    if (link.fibers - link.used < fibers) continue;
+    if (link.down || link.fibers - link.used < fibers) continue;
     if (link.a.wafer == from && link.b.wafer == to) return FiberChoice{i, true};
     if (link.b.wafer == from && link.a.wafer == to) return FiberChoice{i, false};
   }
@@ -195,6 +199,20 @@ void Fabric::disconnect(CircuitId id) {
   // Tearing down also programs switches (back to a parked state).
   reconfig_.reconfigure(c.mzis_to_program());
   circuits_.erase(it);
+}
+
+std::vector<CircuitId> Fabric::circuit_ids() const {
+  std::vector<CircuitId> ids;
+  ids.reserve(circuits_.size());
+  for (const auto& [id, c] : circuits_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::optional<std::size_t> Fabric::fiber_link_of(CircuitId id) const {
+  const auto it = circuit_fiber_.find(id);
+  if (it == circuit_fiber_.end()) return std::nullopt;
+  return it->second;
 }
 
 const Circuit* Fabric::circuit(CircuitId id) const {

@@ -48,6 +48,9 @@ struct FiberLink {
   std::uint32_t fibers{16};
   std::uint32_t used{0};
   Length length{Length::meters(2.0)};
+  /// A cut bundle: existing circuits keep their accounting (the fault layer
+  /// decides their fate) but no new circuit may be placed on it.
+  bool down{false};
 };
 
 class Fabric {
@@ -65,6 +68,11 @@ class Fabric {
   std::size_t add_fiber_link(GlobalTile a, GlobalTile b, std::uint32_t fibers,
                              Length length = Length::meters(2.0));
   [[nodiscard]] const std::vector<FiberLink>& fiber_links() const { return fiber_links_; }
+
+  /// Mark a fiber bundle cut (or restore it).  Down links are skipped by
+  /// fiber selection; circuits already riding the link are untouched here —
+  /// the fault/health layer diagnoses and repairs them.
+  void set_fiber_link_down(std::size_t index, bool down);
 
   /// Data rate of a single modulated wavelength (224 Gbps by default).
   [[nodiscard]] Bandwidth per_wavelength_rate() const;
@@ -86,6 +94,13 @@ class Fabric {
 
   [[nodiscard]] const Circuit* circuit(CircuitId id) const;
   [[nodiscard]] std::size_t active_circuits() const { return circuits_.size(); }
+
+  /// Ids of all established circuits in ascending order (deterministic
+  /// iteration for health scans and teardown sweeps).
+  [[nodiscard]] std::vector<CircuitId> circuit_ids() const;
+
+  /// Fiber link index a cross-wafer circuit rides, if any.
+  [[nodiscard]] std::optional<std::size_t> fiber_link_of(CircuitId id) const;
 
   /// Capacity of an established circuit.
   [[nodiscard]] Bandwidth circuit_bandwidth(CircuitId id) const;

@@ -45,6 +45,11 @@ class Mzi {
 
   [[nodiscard]] const MziParams& params() const { return params_; }
 
+  /// Overrides the thermo-optic time constant.  The fault layer uses this to
+  /// model slow-settle drift (an aged or thermally crosstalked phase shifter
+  /// whose transient stretches); settling_time() and settled_at() follow.
+  void set_tau(Duration tau) { params_.tau = tau; }
+
   /// Commands the switch to route to `port` starting at time `when`.  The
   /// phase begins its exponential approach from its current value.
   void program(MziPort port, TimePoint when);

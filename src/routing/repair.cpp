@@ -48,6 +48,148 @@ RepairPlan repair_with_spare(Fabric& fab, const RepairRequest& req,
   return plan;
 }
 
+namespace {
+
+/// One settle per failed optical probe: the controller programmed the
+/// attempt, observed it dark/degraded, and rolled it back.
+Duration probe_cost(const Fabric& fab) { return fab.reconfig().settle_latency(); }
+
+/// Replacement circuits must pass the caller's acceptance check before the
+/// rung commits; a reject tears the replacement down (full rollback).
+bool accept(const EscalationOptions& options, const Fabric& fab,
+            fabric::CircuitId id) {
+  return !options.validate || options.validate(fab, id);
+}
+
+}  // namespace
+
+EscalationOutcome escalate_repair(Fabric& fab, const DegradedCircuit& victim,
+                                  const EscalationOptions& options) {
+  EscalationOutcome out;
+  const fabric::Circuit* c = fab.circuit(victim.id);
+  if (c == nullptr) return out;  // nothing to repair
+
+  const GlobalTile src = c->src;
+  const GlobalTile dst = c->dst;
+  const std::uint32_t lambdas =
+      options.wavelengths != 0 ? options.wavelengths : c->wavelengths;
+  auto attempt = [&](RepairRung r) { ++out.attempts[rung_index(r)]; };
+  auto succeed = [&](RepairRung r, std::vector<fabric::CircuitId> circuits) {
+    out.recovered = true;
+    out.rung = r;
+    out.circuits = std::move(circuits);
+  };
+
+  // Rung 1 — retune: only a laser/wavelength fault at the source, light path
+  // itself still healthy.  Succeeds when the source tile has enough free
+  // healthy lasers for the circuit to re-lock onto (the fault layer models
+  // dead lasers by consuming that headroom; a shortfall leaves the tile
+  // genuinely short and the rung fails).
+  if (victim.dead_lasers > 0 && !victim.hard_down && !victim.src_dead &&
+      !victim.dst_dead) {
+    attempt(RepairRung::kRetune);
+    out.latency += probe_cost(fab);
+    if (fab.wafer(src.wafer).tile(src.tile).tx_free() >= victim.dead_lasers) {
+      succeed(RepairRung::kRetune, {victim.id});
+      return out;
+    }
+  }
+
+  // Rung 2 — reroute: make-before-break onto alternate waveguides / switch
+  // paths / fibers.  The replacement is established first, so a failed
+  // attempt changes nothing.  Laser deficits cannot be rerouted around (the
+  // lasers sit at the source tile), so the rung is skipped for laser-only
+  // degradation.
+  const bool reroutable = !victim.src_dead && !victim.dst_dead &&
+                          (victim.hard_down || victim.budget_failed);
+  if (reroutable) {
+    // Distinct strategies only: the router family first, then the fabric's
+    // XY/first-fit family.  Identical deterministic attempts never repeat.
+    const std::uint32_t strategies = src.wafer == dst.wafer ? 2 : 1;
+    for (std::uint32_t s = 0; s < std::min(strategies, options.retries_per_rung);
+         ++s) {
+      attempt(RepairRung::kReroute);
+      Result<fabric::CircuitId> placed = Err("unattempted");
+      if (src.wafer == dst.wafer && s == 0) {
+        RouteOptions ro = options.route;
+        ro.lanes = lambdas;
+        const auto hops = find_route(fab.wafer(src.wafer), src.tile, dst.tile, ro);
+        placed = hops ? fab.connect_via(src, dst, *hops, lambdas)
+                      : Result<fabric::CircuitId>{Err("no feasible route")};
+      } else {
+        placed = fab.connect(src, dst, lambdas);
+      }
+      if (!placed) {
+        out.latency += probe_cost(fab);
+        continue;
+      }
+      if (!accept(options, fab, placed.value())) {
+        fab.disconnect(placed.value());
+        out.latency += probe_cost(fab);
+        continue;
+      }
+      const unsigned mzis = fab.circuit(placed.value())->mzis_to_program();
+      fab.disconnect(victim.id);  // break after make
+      out.latency += fab.reconfig().batch_latency(mzis);
+      succeed(RepairRung::kReroute, {placed.value()});
+      return out;
+    }
+  }
+
+  // Rung 3 — respare: replace the broken endpoint (dead chip, or the
+  // laser-deficient source) with a spare via choose_spare, re-planning the
+  // anchor<->spare pair through the transactional repair planner.  Each
+  // retry excludes spares that already failed.
+  if (!options.spare_candidates.empty() && !(victim.src_dead && victim.dst_dead)) {
+    const bool replace_src = victim.src_dead || victim.dead_lasers > 0;
+    const GlobalTile anchor = replace_src ? dst : src;
+    std::vector<GlobalTile> candidates = options.spare_candidates;
+    for (std::uint32_t r = 0; r < options.retries_per_rung && !candidates.empty();
+         ++r) {
+      attempt(RepairRung::kRespare);
+      const auto choice = choose_spare(fab, candidates, {anchor});
+      if (!choice) break;
+      RepairRequest req;
+      req.spare = candidates[choice.value()];
+      req.neighbors = {anchor};
+      req.wavelengths = lambdas;
+      const RepairPlan plan = repair_with_spare(fab, req, options.route);
+      if (plan.complete) {
+        bool ok = true;
+        for (fabric::CircuitId id : plan.circuits) ok = ok && accept(options, fab, id);
+        if (ok) {
+          fab.disconnect(victim.id);
+          out.latency += plan.reconfig_latency;
+          succeed(RepairRung::kRespare, plan.circuits);
+          return out;
+        }
+        for (fabric::CircuitId id : plan.circuits) fab.disconnect(id);
+      }
+      out.latency += probe_cost(fab);
+      candidates.erase(candidates.begin() +
+                       static_cast<std::ptrdiff_t>(choice.value()));
+    }
+  }
+
+  // Rung 4 — electrical torus detour: leave the optical domain, ride the
+  // static electrical links around the fault.  Feasibility is the caller's
+  // congestion analysis (usually false, per Figure 6).
+  attempt(RepairRung::kElectricalDetour);
+  if (options.electrical_feasible) {
+    fab.disconnect(victim.id);
+    out.latency += options.electrical_detour_latency;
+    succeed(RepairRung::kElectricalDetour, {});
+    return out;
+  }
+
+  // Rung 5 — rack migration: the [60] baseline.  Cannot fail.
+  attempt(RepairRung::kRackMigration);
+  fab.disconnect(victim.id);
+  out.latency += options.migration_latency;
+  succeed(RepairRung::kRackMigration, {});
+  return out;
+}
+
 Result<std::size_t> choose_spare(const Fabric& fab,
                                  const std::vector<GlobalTile>& candidates,
                                  const std::vector<GlobalTile>& neighbors) {

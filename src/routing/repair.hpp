@@ -9,6 +9,9 @@
 // not the whole rack.
 #pragma once
 
+#include <array>
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "lightpath/fabric.hpp"
@@ -45,10 +48,118 @@ struct RepairPlan {
 /// Fiber-minimizing spare selection (§5, "Minimizing fiber requirement for
 /// fault tolerance"): among candidate spare tiles, pick the one whose
 /// repair would consume the fewest fibers (same-wafer spares win), breaking
-/// ties by total Manhattan distance to the neighbors.  Returns the index
-/// into `candidates`, or an error if empty.
+/// ties by total Manhattan distance to the neighbors (first candidate wins
+/// an exact tie).  Returns the index into `candidates`, or an error if
+/// empty.
 [[nodiscard]] Result<std::size_t> choose_spare(const fabric::Fabric& fab,
                                                const std::vector<fabric::GlobalTile>& candidates,
                                                const std::vector<fabric::GlobalTile>& neighbors);
+
+// ---------------------------------------------------------------------------
+// Graceful-degradation repair ladder.
+//
+// Component faults (stuck MZIs, waveguide loss drift, fiber cuts, dead
+// lasers, chip deaths — see src/fault/) degrade circuits piecewise instead
+// of killing whole chips.  escalate_repair() recovers one degraded circuit
+// by climbing rungs in order of blast radius, with bounded retries per rung
+// and full rollback of partially established state on every failed attempt:
+//
+//   1. kRetune            re-lock the source onto healthy wavelengths
+//   2. kReroute           make-before-break onto alternate waveguides/fibers
+//   3. kRespare           re-plan against a different spare (choose_spare)
+//   4. kElectricalDetour  fall back to the electrical torus
+//   5. kRackMigration     drain the rack and restart elsewhere
+//
+// Rungs 1-3 stay in the optical domain (microseconds); 4-5 are the
+// escalating electrical fallbacks (milliseconds / minutes).  The ladder
+// always terminates: rung 5 cannot fail.
+// ---------------------------------------------------------------------------
+
+enum class RepairRung : std::uint8_t {
+  kRetune = 0,
+  kReroute = 1,
+  kRespare = 2,
+  kElectricalDetour = 3,
+  kRackMigration = 4,
+};
+
+inline constexpr std::size_t kRepairRungCount = 5;
+
+[[nodiscard]] constexpr const char* to_string(RepairRung r) {
+  switch (r) {
+    case RepairRung::kRetune: return "retune";
+    case RepairRung::kReroute: return "reroute";
+    case RepairRung::kRespare: return "respare";
+    case RepairRung::kElectricalDetour: return "electrical detour";
+    case RepairRung::kRackMigration: return "rack migration";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::size_t rung_index(RepairRung r) {
+  return static_cast<std::size_t>(r);
+}
+
+/// What the health monitor (src/fault/health.hpp) observed about a degraded
+/// circuit.  The ladder only consumes these flags, so routing/ stays
+/// independent of the fault model itself.
+struct DegradedCircuit {
+  fabric::CircuitId id{0};
+  /// Light no longer reaches the receiver: stuck MZI on the path or a cut
+  /// fiber.  Retune cannot help; reroute might.
+  bool hard_down{false};
+  /// Link budget no longer closes (loss drift past the margin threshold).
+  bool budget_failed{false};
+  /// Endpoint chip death (src and/or dst).
+  bool src_dead{false};
+  bool dst_dead{false};
+  /// Source-tile lasers lost to a laser/wavelength fault; the circuit must
+  /// re-lock onto healthy channels (rung 1) or move source (rung 3).
+  std::uint32_t dead_lasers{0};
+};
+
+struct EscalationOptions {
+  /// Max attempts per rung (distinct strategies/spares; never the same
+  /// deterministic attempt twice).
+  std::uint32_t retries_per_rung{2};
+  /// Wavelengths for replacement circuits; 0 inherits the victim's count.
+  std::uint32_t wavelengths{0};
+  RouteOptions route{};
+  /// Spare tiles rung 3 may re-plan onto (choose_spare order).
+  std::vector<fabric::GlobalTile> spare_candidates;
+  /// Whether the electrical torus has a congestion-free detour available
+  /// (rung 4); the caller decides, e.g. via attempt_electrical_repair.
+  bool electrical_feasible{false};
+  Duration electrical_detour_latency{Duration::millis(1.0)};
+  Duration migration_latency{Duration::seconds(600.0)};
+  /// Acceptance check for replacement circuits (e.g. a fault-aware health
+  /// diagnosis).  A rejected replacement is torn down — full rollback — and
+  /// the attempt counts as failed.  Null accepts everything.
+  std::function<bool(const fabric::Fabric&, fabric::CircuitId)> validate;
+};
+
+struct EscalationOutcome {
+  bool recovered{false};
+  RepairRung rung{RepairRung::kRackMigration};
+  /// Circuits carrying the traffic after recovery: the original id for
+  /// retune, the replacement for reroute, the anchor<->spare pair for
+  /// respare, empty for the electrical rungs.
+  std::vector<fabric::CircuitId> circuits;
+  /// Wall-clock recovery latency (probe + programming + settle per optical
+  /// attempt; detour/migration constants for the electrical rungs).
+  Duration latency{Duration::zero()};
+  /// Attempts made per rung, including the successful one.
+  std::array<std::uint32_t, kRepairRungCount> attempts{};
+};
+
+/// Climbs the repair ladder for one degraded circuit.  Every failed attempt
+/// leaves the fabric exactly as it found it (make-before-break reroutes,
+/// transactional respare via repair_with_spare, validation rejects tear the
+/// replacement down).  Returns the first rung that recovered the traffic;
+/// rung 5 (rack migration) always succeeds, so recovered is false only when
+/// `victim.id` names no established circuit.
+[[nodiscard]] EscalationOutcome escalate_repair(fabric::Fabric& fab,
+                                                const DegradedCircuit& victim,
+                                                const EscalationOptions& options = {});
 
 }  // namespace lp::routing

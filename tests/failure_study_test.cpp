@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/failure_study.hpp"
+#include "core/photonic_rack.hpp"
 
 namespace lp::core {
 namespace {
@@ -127,6 +128,54 @@ TEST(FailureStudy, BatchDuplicateVictimsConsistent) {
     EXPECT_EQ(batch[i].feasible, batch[0].feasible);
     EXPECT_EQ(batch[i].congestion_free, batch[0].congestion_free);
   }
+}
+
+// The unrecovered counter splits exactly into its two causes, and a policy
+// that always succeeds reports neither.
+TEST(FailureStudy, UnrecoveredSplitsIntoSpareExhaustedAndPlanFailure) {
+  for (const auto policy : {FailurePolicy::kRackMigration,
+                            FailurePolicy::kElectricalRepair,
+                            FailurePolicy::kOpticalRepair}) {
+    const auto report = run_failure_study(policy, quick_params());
+    EXPECT_EQ(report.unrecovered,
+              report.unrecovered_spare_exhausted + report.unrecovered_plan_failure)
+        << "policy " << static_cast<int>(policy);
+  }
+  const auto migration = run_failure_study(FailurePolicy::kRackMigration, quick_params());
+  EXPECT_EQ(migration.unrecovered_spare_exhausted, 0u);
+  EXPECT_EQ(migration.unrecovered_plan_failure, 0u);
+}
+
+// Figure 6's electrical infeasibility is a routing problem, not a spare
+// shortage: the template rack keeps free chips, so every unrecovered trial
+// is a plan failure.
+TEST(FailureStudy, ElectricalUnrecoveredIsPlanFailureWithSparesFree) {
+  const auto report =
+      run_failure_study(FailurePolicy::kElectricalRepair, quick_params());
+  ASSERT_GT(report.unrecovered, 0u);
+  EXPECT_EQ(report.unrecovered_spare_exhausted, 0u);
+  EXPECT_EQ(report.unrecovered_plan_failure, report.unrecovered);
+}
+
+// With the rack packed wall-to-wall there is no spare to rewire in, and the
+// optical assessment must say so (kSpareExhausted, not a generic plan
+// failure).
+TEST(FailureStudy, OpticalAssessmentReportsSpareExhaustion) {
+  topo::TpuCluster cluster;
+  topo::SliceAllocator alloc{cluster};
+  pack_template_rack(alloc);
+  // Claim the 4x2x1 corner pack_template_rack leaves free.
+  const auto fill = alloc.allocate_at(0, topo::Coord{{0, 2, 3}}, topo::Shape{{4, 2, 1}});
+  ASSERT_TRUE(fill.ok());
+  ASSERT_TRUE(cluster.free_chips_in_rack(0).empty());
+
+  PhotonicRack rack{cluster, 0};
+  topo::TpuId victim = 0;
+  while (!alloc.owner(victim)) ++victim;
+  const auto impact = assess_failure(cluster, alloc, victim,
+                                     FailurePolicy::kOpticalRepair, {}, &rack);
+  EXPECT_FALSE(impact.feasible);
+  EXPECT_EQ(impact.cause, UnrecoveredCause::kSpareExhausted);
 }
 
 }  // namespace

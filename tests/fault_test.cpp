@@ -1,0 +1,375 @@
+// Tests of the component-fault layer: deterministic injection, the
+// apply/revert overlay, health diagnosis, the fault-aware repair ladder, and
+// the component-fault Monte-Carlo study.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "core/failure_study.hpp"
+#include "fault/fault.hpp"
+#include "fault/health.hpp"
+#include "lightpath/fabric.hpp"
+#include "routing/repair.hpp"
+
+namespace lp::fault {
+namespace {
+
+using fabric::Direction;
+using fabric::Fabric;
+using fabric::FabricConfig;
+using fabric::GlobalTile;
+using fabric::TileId;
+
+Fabric two_wafer_fabric() {
+  FabricConfig config;
+  config.wafer_count = 2;
+  Fabric fab{config};
+  const auto& w = fab.wafer(0);
+  for (std::int32_t row = 0; row < w.rows(); ++row) {
+    fab.add_fiber_link({0, w.tile_at({row, w.cols() - 1})}, {1, w.tile_at({row, 0})},
+                       16);
+  }
+  return fab;
+}
+
+bool same_fault(const Fault& a, const Fault& b) {
+  return a.kind == b.kind && a.tile == b.tile && a.direction == b.direction &&
+         a.fiber_link == b.fiber_link &&
+         a.excess_loss.value() == b.excess_loss.value() &&
+         a.tau_factor == b.tau_factor && a.dead_lasers == b.dead_lasers &&
+         a.stuck_port == b.stuck_port;
+}
+
+TEST(Injector, SampleTrialIsPureFunctionOfSeedAndTrial) {
+  const Fabric fab = two_wafer_fabric();
+  const FaultInjector injector{fab, {}, 42};
+  bool any_difference = false;
+  for (std::uint64_t trial = 0; trial < 50; ++trial) {
+    const auto a = injector.sample_trial(trial);
+    const auto b = injector.sample_trial(trial);
+    ASSERT_EQ(a.size(), b.size()) << trial;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_TRUE(same_fault(a[i], b[i])) << "trial " << trial << " fault " << i;
+    }
+    if (trial > 0 && !any_difference) {
+      const auto prev = injector.sample_trial(trial - 1);
+      any_difference = prev.size() != a.size() || !same_fault(prev.front(), a.front());
+    }
+  }
+  EXPECT_TRUE(any_difference) << "different trials draw different faults";
+}
+
+TEST(Injector, BurstsConfineToTheFirstFaultsWafer) {
+  const Fabric fab = two_wafer_fabric();
+  FaultModelParams params;
+  params.burst_probability = 1.0;
+  params.fiber_cut_weight = 0.0;  // cut anchors span wafers; exclude for the check
+  const FaultInjector injector{fab, params, 7};
+  std::size_t bursts = 0;
+  for (std::uint64_t trial = 0; trial < 40; ++trial) {
+    const auto faults = injector.sample_trial(trial);
+    ASSERT_GE(faults.size(), 2u) << "burst_probability=1 always bursts";
+    ++bursts;
+    for (const Fault& f : faults) {
+      EXPECT_EQ(f.tile.wafer, faults.front().tile.wafer) << "trial " << trial;
+    }
+  }
+  EXPECT_GT(bursts, 0u);
+}
+
+TEST(FaultSet, QueriesReflectAddedFaults) {
+  FaultSet fs;
+  fs.add({.kind = FaultKind::kMziStuck, .tile = {0, 5}, .direction = Direction::kEast});
+  fs.add({.kind = FaultKind::kWaveguideLoss, .tile = {0, 5},
+          .direction = Direction::kEast, .excess_loss = Decibel::db(2.0)});
+  fs.add({.kind = FaultKind::kWaveguideLoss, .tile = {0, 5},
+          .direction = Direction::kEast, .excess_loss = Decibel::db(1.5)});
+  fs.add({.kind = FaultKind::kLaserLoss, .tile = {1, 3}, .dead_lasers = 4});
+  fs.add({.kind = FaultKind::kFiberCut, .fiber_link = 2});
+  fs.add({.kind = FaultKind::kChipDeath, .tile = {1, 9}});
+
+  EXPECT_TRUE(fs.mzi_stuck({0, 5}, Direction::kEast));
+  EXPECT_FALSE(fs.mzi_stuck({0, 5}, Direction::kWest));
+  EXPECT_DOUBLE_EQ(fs.waveguide_excess({0, 5}, Direction::kEast).value(), 3.5)
+      << "repeated drift accumulates";
+  EXPECT_EQ(fs.dead_lasers({1, 3}), 4u);
+  EXPECT_EQ(fs.dead_lasers({0, 3}), 0u);
+  EXPECT_TRUE(fs.fiber_cut(2));
+  EXPECT_FALSE(fs.fiber_cut(0));
+  EXPECT_TRUE(fs.chip_dead({1, 9}));
+  EXPECT_FALSE(fs.chip_dead({0, 9}));
+}
+
+// apply_to() must be exactly undone by revert(): same lanes, endpoint
+// wavelengths, fiber flags and usage, and MZI parameters as before.
+TEST(FaultSet, ApplyThenRevertRestoresTheFabric) {
+  Fabric fab = two_wafer_fabric();
+  (void)fab.connect({0, 0}, {0, 3}, 2);
+  (void)fab.connect({0, 7}, {1, 4}, 2);
+
+  const auto lanes0 = fab.wafer(0).total_lanes_used();
+  const auto lanes1 = fab.wafer(1).total_lanes_used();
+  const auto tx0 = fab.wafer(0).tile(0).tx_used();
+  const auto tau = fab.wafer(0).tile(5).mzi(Direction::kEast).params().tau;
+  const auto target = fab.wafer(0).tile(5).mzi(Direction::kEast).target_port();
+  const auto fiber_used = fab.fiber_links()[0].used;
+
+  FaultSet fs;
+  fs.add({.kind = FaultKind::kMziStuck, .tile = {0, 5}, .direction = Direction::kEast,
+          .stuck_port = phys::MziPort::kCross});
+  fs.add({.kind = FaultKind::kMziDrift, .tile = {0, 5}, .direction = Direction::kEast,
+          .excess_loss = Decibel::db(0.8), .tau_factor = 4.0});
+  fs.add({.kind = FaultKind::kWaveguideLoss, .tile = {0, 9},
+          .direction = Direction::kSouth, .excess_loss = Decibel::db(5.0)});
+  fs.add({.kind = FaultKind::kFiberCut, .fiber_link = 0});
+  fs.add({.kind = FaultKind::kLaserLoss, .tile = {0, 0}, .dead_lasers = 3});
+  fs.add({.kind = FaultKind::kChipDeath, .tile = {1, 20}});
+  fs.apply_to(fab);
+  EXPECT_TRUE(fs.applied());
+
+  // The overlay took effect.
+  EXPECT_GT(fab.wafer(0).total_lanes_used(), lanes0) << "edges quarantined";
+  EXPECT_TRUE(fab.fiber_links()[0].down);
+  EXPECT_EQ(fab.wafer(0).tile(0).tx_used(), tx0 + 3) << "dark lasers parked";
+  EXPECT_EQ(fab.wafer(1).tile(20).tx_free(), 0u) << "dead chip endpoints parked";
+  EXPECT_EQ(fab.wafer(1).tile(20).rx_free(), 0u);
+  EXPECT_EQ(fab.wafer(0).tile(5).mzi(Direction::kEast).target_port(),
+            phys::MziPort::kCross);
+  EXPECT_GT(fab.wafer(0).tile(5).mzi(Direction::kEast).params().tau, tau);
+
+  fs.revert(fab);
+  EXPECT_FALSE(fs.applied());
+  EXPECT_EQ(fab.wafer(0).total_lanes_used(), lanes0);
+  EXPECT_EQ(fab.wafer(1).total_lanes_used(), lanes1);
+  EXPECT_EQ(fab.wafer(0).tile(0).tx_used(), tx0);
+  EXPECT_FALSE(fab.fiber_links()[0].down);
+  EXPECT_EQ(fab.fiber_links()[0].used, fiber_used);
+  EXPECT_EQ(fab.wafer(1).tile(20).tx_used(), 0u);
+  EXPECT_EQ(fab.wafer(1).tile(20).rx_used(), 0u);
+  EXPECT_EQ(fab.wafer(0).tile(5).mzi(Direction::kEast).params().tau, tau);
+  EXPECT_EQ(fab.wafer(0).tile(5).mzi(Direction::kEast).target_port(), target);
+}
+
+TEST(FaultSet, CutFiberRefusesNewCircuitsUntilReverted) {
+  Fabric fab = two_wafer_fabric();
+  FaultSet fs;
+  // Cut every bundle: no cross-wafer circuit can be placed.
+  for (std::size_t i = 0; i < fab.fiber_links().size(); ++i) {
+    fs.add({.kind = FaultKind::kFiberCut, .fiber_link = i});
+  }
+  fs.apply_to(fab);
+  EXPECT_FALSE(fab.connect({0, 7}, {1, 4}, 1).ok());
+  fs.revert(fab);
+  EXPECT_TRUE(fab.connect({0, 7}, {1, 4}, 1).ok());
+}
+
+TEST(Health, NoFaultsMeansCleanScan) {
+  Fabric fab = two_wafer_fabric();
+  (void)fab.connect({0, 0}, {0, 3}, 2);
+  (void)fab.connect({0, 7}, {1, 4}, 2);
+  const HealthMonitor monitor;
+  EXPECT_TRUE(monitor.scan(fab, FaultSet{}).empty());
+}
+
+TEST(Health, StuckMziOnThePathIsHardDown) {
+  Fabric fab = two_wafer_fabric();
+  const auto id = fab.connect({0, 0}, {0, 3}, 2);  // XY: east, east, east
+  ASSERT_TRUE(id.ok());
+  FaultSet fs;
+  fs.add({.kind = FaultKind::kMziStuck, .tile = {0, 1}, .direction = Direction::kEast});
+  const HealthMonitor monitor;
+  const auto d = monitor.diagnose(fab, fs, id.value());
+  EXPECT_EQ(d.health, CircuitHealth::kDown);
+  EXPECT_TRUE(d.hard_down);
+
+  // The same fault seen from the receiving side of the hop also matches.
+  FaultSet entry_side;
+  entry_side.add(
+      {.kind = FaultKind::kMziStuck, .tile = {0, 2}, .direction = Direction::kWest});
+  EXPECT_TRUE(monitor.diagnose(fab, entry_side, id.value()).hard_down);
+
+  // A stuck switch elsewhere does not affect this circuit.
+  FaultSet unrelated;
+  unrelated.add(
+      {.kind = FaultKind::kMziStuck, .tile = {0, 20}, .direction = Direction::kEast});
+  EXPECT_EQ(monitor.diagnose(fab, unrelated, id.value()).health,
+            CircuitHealth::kHealthy);
+}
+
+TEST(Health, LossDriftDegradesWhenTheBudgetStopsClosing) {
+  Fabric fab = two_wafer_fabric();
+  const auto id = fab.connect({0, 0}, {0, 3}, 2);
+  ASSERT_TRUE(id.ok());
+  const HealthMonitor monitor;
+
+  FaultSet mild;
+  mild.add({.kind = FaultKind::kWaveguideLoss, .tile = {0, 0},
+            .direction = Direction::kEast, .excess_loss = Decibel::db(0.2)});
+  const auto d_mild = monitor.diagnose(fab, mild, id.value());
+  EXPECT_EQ(d_mild.health, CircuitHealth::kHealthy)
+      << "0.2 dB of drift sits inside the margin";
+  EXPECT_DOUBLE_EQ(d_mild.fault_excess.value(), 0.2);
+
+  FaultSet severe;
+  severe.add({.kind = FaultKind::kWaveguideLoss, .tile = {0, 0},
+              .direction = Direction::kEast, .excess_loss = Decibel::db(40.0)});
+  const auto d = monitor.diagnose(fab, severe, id.value());
+  EXPECT_EQ(d.health, CircuitHealth::kDegraded);
+  EXPECT_TRUE(d.budget_failed);
+  EXPECT_FALSE(d.budget.closes);
+  EXPECT_FALSE(d.hard_down) << "light still arrives, just too faint";
+}
+
+TEST(Health, LaserLossAndEndpointDeathDiagnoses) {
+  Fabric fab = two_wafer_fabric();
+  const auto on_wafer = fab.connect({0, 0}, {0, 3}, 2);
+  const auto cross = fab.connect({0, 7}, {1, 4}, 2);
+  ASSERT_TRUE(on_wafer.ok());
+  ASSERT_TRUE(cross.ok());
+  const HealthMonitor monitor;
+
+  FaultSet lasers;
+  lasers.add({.kind = FaultKind::kLaserLoss, .tile = {0, 0}, .dead_lasers = 2});
+  const auto d1 = monitor.diagnose(fab, lasers, on_wafer.value());
+  EXPECT_EQ(d1.health, CircuitHealth::kDegraded);
+  EXPECT_EQ(d1.dead_lasers, 2u);
+
+  FaultSet cut;
+  const auto link = fab.fiber_link_of(cross.value());
+  ASSERT_TRUE(link.has_value());
+  cut.add({.kind = FaultKind::kFiberCut, .fiber_link = *link});
+  const auto d2 = monitor.diagnose(fab, cut, cross.value());
+  EXPECT_EQ(d2.health, CircuitHealth::kDown);
+  EXPECT_TRUE(d2.hard_down);
+
+  FaultSet death;
+  death.add({.kind = FaultKind::kChipDeath, .tile = {1, 4}});
+  const auto d3 = monitor.diagnose(fab, death, cross.value());
+  EXPECT_EQ(d3.health, CircuitHealth::kDown);
+  EXPECT_TRUE(d3.dst_dead);
+  EXPECT_FALSE(d3.src_dead);
+}
+
+TEST(Health, ScanReportsAscendingIds) {
+  Fabric fab = two_wafer_fabric();
+  std::vector<fabric::CircuitId> ids;
+  for (TileId t = 0; t < 4; ++t) {
+    const auto id = fab.connect({0, t}, {0, t + 8}, 1);  // straight south
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  FaultSet fs;
+  for (TileId t = 0; t < 4; ++t) {
+    fs.add({.kind = FaultKind::kMziStuck, .tile = {0, t}, .direction = Direction::kSouth});
+  }
+  const auto diagnoses = HealthMonitor{}.scan(fab, fs);
+  ASSERT_EQ(diagnoses.size(), ids.size());
+  EXPECT_TRUE(std::is_sorted(diagnoses.begin(), diagnoses.end(),
+                             [](const auto& a, const auto& b) { return a.id < b.id; }));
+}
+
+// End-to-end: fault -> diagnosis -> ladder with a fault-aware validator.
+// The quarantined edge forces the reroute onto healthy hardware, and the
+// validator confirms the replacement diagnoses clean.
+TEST(Ladder, FaultAwareRerouteProducesAHealthyReplacement) {
+  Fabric fab = two_wafer_fabric();
+  const auto id = fab.connect({0, 0}, {0, 3}, 2);
+  ASSERT_TRUE(id.ok());
+  FaultSet fs;
+  fs.add({.kind = FaultKind::kMziStuck, .tile = {0, 1}, .direction = Direction::kEast,
+          .stuck_port = phys::MziPort::kBar});
+  fs.apply_to(fab);
+
+  const HealthMonitor monitor;
+  const auto diagnoses = monitor.scan(fab, fs);
+  ASSERT_EQ(diagnoses.size(), 1u);
+
+  routing::EscalationOptions opts;
+  opts.validate = [&](const Fabric& f, fabric::CircuitId cid) {
+    return monitor.diagnose(f, fs, cid).health == CircuitHealth::kHealthy;
+  };
+  const auto out = routing::escalate_repair(fab, to_degraded(diagnoses.front()), opts);
+  EXPECT_TRUE(out.recovered);
+  EXPECT_EQ(out.rung, routing::RepairRung::kReroute);
+  ASSERT_EQ(out.circuits.size(), 1u);
+  EXPECT_EQ(monitor.diagnose(fab, fs, out.circuits.front()).health,
+            CircuitHealth::kHealthy);
+  fs.revert(fab);
+}
+
+core::ComponentStudyParams quick_component_params() {
+  core::ComponentStudyParams p;
+  p.component_mtbf_hours = 2000.0;  // high fault rate for test speed
+  p.horizon_hours = 24.0 * 7.0;
+  p.fleet_chips = 1024;
+  return p;
+}
+
+TEST(ComponentStudy, DeterministicUnderSeed) {
+  const auto a = core::run_component_fault_study(quick_component_params());
+  const auto b = core::run_component_fault_study(quick_component_params());
+  EXPECT_EQ(a.fault_events, b.fault_events);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.recovered_by, b.recovered_by);
+  EXPECT_EQ(a.chip_hours_lost, b.chip_hours_lost);
+}
+
+// The acceptance criterion: the fault Monte-Carlo is bit-identical at any
+// thread count.
+TEST(ComponentStudy, ReportIdenticalAtAnyThreadCount) {
+  auto serial = quick_component_params();
+  serial.threads = 1;
+  auto wide = quick_component_params();
+  wide.threads = std::max(4u, std::thread::hardware_concurrency());
+  const auto a = core::run_component_fault_study(serial);
+  const auto b = core::run_component_fault_study(wide);
+  EXPECT_EQ(a.fault_events, b.fault_events);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.bursts, b.bursts);
+  EXPECT_EQ(a.degraded_circuits, b.degraded_circuits);
+  EXPECT_EQ(a.hard_down_circuits, b.hard_down_circuits);
+  EXPECT_EQ(a.recovered_by, b.recovered_by);
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.unrecovered, b.unrecovered);
+  EXPECT_EQ(a.chip_hours_lost, b.chip_hours_lost) << "must be bit-identical";
+  EXPECT_EQ(a.recovery_seconds_total, b.recovery_seconds_total);
+  EXPECT_EQ(a.availability, b.availability);
+}
+
+TEST(ComponentStudy, LadderAccountingIsConsistent) {
+  const auto report = core::run_component_fault_study(quick_component_params());
+  EXPECT_GT(report.fault_events, 0u);
+  EXPECT_GE(report.faults_injected, report.fault_events);
+  EXPECT_GT(report.degraded_circuits, 0u);
+
+  std::uint64_t recovered = 0;
+  for (std::size_t k = 0; k < routing::kRepairRungCount; ++k) {
+    recovered += report.recovered_by[k];
+    EXPECT_GE(report.attempts[k], report.recovered_by[k]) << "rung " << k;
+  }
+  EXPECT_EQ(recovered + report.unrecovered, report.degraded_circuits);
+  EXPECT_GE(report.availability, 0.0);
+  EXPECT_LE(report.availability, 1.0);
+
+  // With hundreds of trials every optical rung sees recoveries.
+  EXPECT_GT(report.recovered_by[routing::rung_index(routing::RepairRung::kRetune)], 0u);
+  EXPECT_GT(report.recovered_by[routing::rung_index(routing::RepairRung::kReroute)], 0u);
+  EXPECT_GT(report.recovered_by[routing::rung_index(routing::RepairRung::kRespare)], 0u);
+}
+
+TEST(ComponentStudy, BurstsRaiseTheDegradedCount) {
+  auto calm = quick_component_params();
+  calm.model.burst_probability = 0.0;
+  auto bursty = quick_component_params();
+  bursty.model.burst_probability = 1.0;
+  const auto a = core::run_component_fault_study(calm);
+  const auto b = core::run_component_fault_study(bursty);
+  EXPECT_EQ(a.bursts, 0u);
+  EXPECT_EQ(b.bursts, b.fault_events);
+  EXPECT_GT(b.faults_injected, a.faults_injected);
+}
+
+}  // namespace
+}  // namespace lp::fault

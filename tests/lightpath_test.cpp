@@ -158,6 +158,12 @@ TEST(Reconfig, StatsAccumulate) {
   EXPECT_GT(ctl.total_time().to_micros(), 7.0);
   ctl.reset_stats();
   EXPECT_EQ(ctl.batches(), 0u);
+  EXPECT_EQ(ctl.mzis_programmed(), 0u);
+  EXPECT_EQ(ctl.total_time().to_seconds(), 0.0);
+  // The controller keeps working after a stats reset.
+  ctl.reconfigure(2);
+  EXPECT_EQ(ctl.batches(), 1u);
+  EXPECT_EQ(ctl.mzis_programmed(), 2u);
 }
 
 TEST(Fabric, XyRouteShape) {

@@ -14,6 +14,7 @@ using fabric::Fabric;
 using fabric::FabricConfig;
 using fabric::GlobalTile;
 using fabric::TileCoord;
+using fabric::TileId;
 using fabric::Wafer;
 using fabric::WaferParams;
 
@@ -247,6 +248,202 @@ TEST(Repair, ChooseSparePrefersSameWafer) {
 TEST(Repair, ChooseSpareEmptyFails) {
   Fabric fab;
   EXPECT_FALSE(choose_spare(fab, {}, {GlobalTile{0, 1}}).ok());
+}
+
+TEST(Repair, ChooseSpareManhattanBreaksFiberTies) {
+  Fabric fab;
+  const Wafer& w = fab.wafer(0);
+  // All candidates same-wafer (fiber tie at 0); the closer one wins even
+  // when listed later.
+  const std::vector<GlobalTile> candidates{
+      GlobalTile{0, w.tile_at(TileCoord{3, 7})}, GlobalTile{0, w.tile_at(TileCoord{1, 2})}};
+  const std::vector<GlobalTile> neighbors{GlobalTile{0, w.tile_at(TileCoord{1, 1})}};
+  const auto choice = choose_spare(fab, candidates, neighbors);
+  ASSERT_TRUE(choice.ok());
+  EXPECT_EQ(choice.value(), 1u) << "Manhattan distance breaks the fiber tie";
+}
+
+TEST(Repair, ChooseSpareExactTieFirstCandidateWins) {
+  Fabric fab;
+  const Wafer& w = fab.wafer(0);
+  // (0,1) and (1,0) are both 1 hop from (0,0): fibers and distance tie, so
+  // the first listed candidate must win (deterministic repair plans).
+  const std::vector<GlobalTile> candidates{
+      GlobalTile{0, w.tile_at(TileCoord{0, 1})}, GlobalTile{0, w.tile_at(TileCoord{1, 0})}};
+  const std::vector<GlobalTile> neighbors{GlobalTile{0, w.tile_at(TileCoord{0, 0})}};
+  const auto choice = choose_spare(fab, candidates, neighbors);
+  ASSERT_TRUE(choice.ok());
+  EXPECT_EQ(choice.value(), 0u);
+}
+
+// Regression: a repair that fails mid-plan (first neighbor pair fits, the
+// second exhausts the spare's Rx pool) must leave the fabric exactly as it
+// found it — no leaked circuits, lanes, or wavelength reservations.
+TEST(Repair, PartialFailureLeavesNoLeakedReservations) {
+  Fabric fab;
+  RepairRequest req;
+  req.spare = GlobalTile{0, 12};
+  req.neighbors = {GlobalTile{0, 3}, GlobalTile{0, 20}};
+  req.wavelengths = 16;  // first neighbor consumes all 16 Rx at the spare
+  const auto plan = repair_with_spare(fab, req);
+  EXPECT_FALSE(plan.complete);
+  EXPECT_TRUE(plan.circuits.empty());
+  EXPECT_EQ(fab.active_circuits(), 0u);
+  EXPECT_EQ(fab.wafer(0).total_lanes_used(), 0u);
+  for (const TileId t : {TileId{3}, TileId{12}, TileId{20}}) {
+    EXPECT_EQ(fab.wafer(0).tile(t).tx_used(), 0u) << "tile " << t;
+    EXPECT_EQ(fab.wafer(0).tile(t).rx_used(), 0u) << "tile " << t;
+  }
+}
+
+// --- escalate_repair: the graceful-degradation ladder ----------------------
+
+TEST(Escalate, RetuneRecoversLaserLossWithHeadroom) {
+  Fabric fab;
+  const auto id = fab.connect(GlobalTile{0, 0}, GlobalTile{0, 3}, 2);
+  ASSERT_TRUE(id.ok());
+  DegradedCircuit victim;
+  victim.id = id.value();
+  victim.dead_lasers = 2;  // tile 0 has 14 free Tx: plenty to re-lock onto
+  const auto out = escalate_repair(fab, victim, {});
+  EXPECT_TRUE(out.recovered);
+  EXPECT_EQ(out.rung, RepairRung::kRetune);
+  EXPECT_EQ(out.attempts[rung_index(RepairRung::kRetune)], 1u);
+  ASSERT_EQ(out.circuits.size(), 1u);
+  EXPECT_EQ(out.circuits.front(), id.value()) << "retune keeps the circuit";
+  EXPECT_EQ(fab.active_circuits(), 1u);
+  EXPECT_GT(out.latency.to_seconds(), 0.0);
+}
+
+TEST(Escalate, RerouteAroundBlockedPath) {
+  Fabric fab;
+  Wafer& w = fab.wafer(0);
+  const TileId a = w.tile_at(TileCoord{0, 0});
+  const TileId b = w.tile_at(TileCoord{0, 2});
+  const auto id = fab.connect(GlobalTile{0, a}, GlobalTile{0, b}, 2);
+  ASSERT_TRUE(id.ok());
+  // Block the straight east-east path as a stuck switch would (both directed
+  // edges of the first hop quarantined).
+  ASSERT_TRUE(w.reserve_lanes(a, Direction::kEast, w.lanes_free(a, Direction::kEast)));
+  const TileId mid = *w.neighbor(a, Direction::kEast);
+  ASSERT_TRUE(w.reserve_lanes(mid, Direction::kWest, w.lanes_free(mid, Direction::kWest)));
+
+  DegradedCircuit victim;
+  victim.id = id.value();
+  victim.hard_down = true;
+  const auto out = escalate_repair(fab, victim, {});
+  EXPECT_TRUE(out.recovered);
+  EXPECT_EQ(out.rung, RepairRung::kReroute);
+  EXPECT_EQ(fab.active_circuits(), 1u) << "victim replaced, not duplicated";
+  ASSERT_EQ(out.circuits.size(), 1u);
+  EXPECT_NE(out.circuits.front(), id.value());
+  const fabric::Circuit* c = fab.circuit(out.circuits.front());
+  ASSERT_NE(c, nullptr);
+  EXPECT_GT(c->waveguide_hop_count(), 2u) << "detour around the blocked edge";
+}
+
+TEST(Escalate, RespareReplacesDeadEndpoint) {
+  Fabric fab;
+  const auto id = fab.connect(GlobalTile{0, 0}, GlobalTile{0, 3}, 2);
+  ASSERT_TRUE(id.ok());
+  DegradedCircuit victim;
+  victim.id = id.value();
+  victim.dst_dead = true;  // reroute cannot help; endpoint must move
+  EscalationOptions opts;
+  opts.spare_candidates = {GlobalTile{0, 11}};
+  const auto out = escalate_repair(fab, victim, opts);
+  EXPECT_TRUE(out.recovered);
+  EXPECT_EQ(out.rung, RepairRung::kRespare);
+  EXPECT_EQ(out.attempts[rung_index(RepairRung::kReroute)], 0u)
+      << "dead endpoint skips the reroute rung";
+  EXPECT_EQ(out.circuits.size(), 2u) << "anchor<->spare, both directions";
+  EXPECT_EQ(fab.circuit(id.value()), nullptr) << "victim torn down";
+  EXPECT_EQ(fab.active_circuits(), 2u);
+}
+
+TEST(Escalate, ElectricalDetourWhenOpticalRungsExhausted) {
+  Fabric fab;
+  const auto id = fab.connect(GlobalTile{0, 0}, GlobalTile{0, 3}, 2);
+  ASSERT_TRUE(id.ok());
+  DegradedCircuit victim;
+  victim.id = id.value();
+  victim.hard_down = true;
+  EscalationOptions opts;
+  opts.spare_candidates = {GlobalTile{0, 11}};
+  opts.electrical_feasible = true;
+  opts.validate = [](const Fabric&, fabric::CircuitId) { return false; };
+  const auto out = escalate_repair(fab, victim, opts);
+  EXPECT_TRUE(out.recovered);
+  EXPECT_EQ(out.rung, RepairRung::kElectricalDetour);
+  EXPECT_GT(out.attempts[rung_index(RepairRung::kReroute)], 0u);
+  EXPECT_GT(out.attempts[rung_index(RepairRung::kRespare)], 0u);
+  EXPECT_EQ(fab.active_circuits(), 0u) << "traffic left the optical domain";
+  EXPECT_GE(out.latency, opts.electrical_detour_latency);
+}
+
+TEST(Escalate, RackMigrationIsTheLastResortAndCannotFail) {
+  Fabric fab;
+  const auto id = fab.connect(GlobalTile{0, 0}, GlobalTile{0, 3}, 2);
+  ASSERT_TRUE(id.ok());
+  DegradedCircuit victim;
+  victim.id = id.value();
+  victim.hard_down = true;
+  EscalationOptions opts;
+  opts.validate = [](const Fabric&, fabric::CircuitId) { return false; };
+  const auto out = escalate_repair(fab, victim, opts);
+  EXPECT_TRUE(out.recovered);
+  EXPECT_EQ(out.rung, RepairRung::kRackMigration);
+  EXPECT_EQ(out.attempts[rung_index(RepairRung::kRackMigration)], 1u);
+  EXPECT_GE(out.latency, opts.migration_latency);
+  EXPECT_EQ(fab.active_circuits(), 0u);
+}
+
+// A rung whose replacement is rejected mid-attempt must roll it back fully:
+// after every optical rung fails, the fabric differs from the initial state
+// by exactly the victim's teardown — nothing else leaked.
+TEST(Escalate, FailedRungsRollBackToExactState) {
+  FabricConfig config;
+  config.wafer_count = 2;
+  Fabric fab{config};
+  fab.add_fiber_link(GlobalTile{0, 7}, GlobalTile{1, 0}, 16);
+  (void)fab.connect(GlobalTile{0, 16}, GlobalTile{0, 19}, 2);  // bystander
+  const auto id = fab.connect(GlobalTile{0, 0}, GlobalTile{1, 4}, 2);
+  ASSERT_TRUE(id.ok());
+
+  Fabric expected = fab;  // the only sanctioned change: victim teardown
+  expected.disconnect(id.value());
+
+  DegradedCircuit victim;
+  victim.id = id.value();
+  victim.hard_down = true;
+  EscalationOptions opts;
+  opts.spare_candidates = {GlobalTile{0, 27}, GlobalTile{1, 20}};
+  opts.validate = [](const Fabric&, fabric::CircuitId) { return false; };
+  const auto out = escalate_repair(fab, victim, opts);
+  EXPECT_EQ(out.rung, RepairRung::kRackMigration);
+  EXPECT_GT(out.attempts[rung_index(RepairRung::kReroute)], 0u);
+  EXPECT_GT(out.attempts[rung_index(RepairRung::kRespare)], 0u);
+
+  EXPECT_EQ(fab.active_circuits(), expected.active_circuits());
+  for (fabric::WaferId w = 0; w < fab.wafer_count(); ++w) {
+    EXPECT_EQ(fab.wafer(w).total_lanes_used(), expected.wafer(w).total_lanes_used());
+    for (fabric::TileId t = 0; t < fab.wafer(w).tile_count(); ++t) {
+      EXPECT_EQ(fab.wafer(w).tile(t).tx_used(), expected.wafer(w).tile(t).tx_used());
+      EXPECT_EQ(fab.wafer(w).tile(t).rx_used(), expected.wafer(w).tile(t).rx_used());
+    }
+  }
+  for (std::size_t i = 0; i < fab.fiber_links().size(); ++i) {
+    EXPECT_EQ(fab.fiber_links()[i].used, expected.fiber_links()[i].used);
+  }
+}
+
+TEST(Escalate, UnknownCircuitIsNotRepairable) {
+  Fabric fab;
+  DegradedCircuit victim;
+  victim.id = 12345;
+  const auto out = escalate_repair(fab, victim, {});
+  EXPECT_FALSE(out.recovered);
+  for (const auto a : out.attempts) EXPECT_EQ(a, 0u);
 }
 
 }  // namespace
