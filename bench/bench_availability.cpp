@@ -22,9 +22,10 @@ const char* name(FailurePolicy p) {
   return "?";
 }
 
-void print_report() {
+void print_report(bench::JsonWriter* jw) {
   bench::header("Fleet availability: 4096 chips, 90 days, per-chip MTBF sweep");
 
+  if (jw != nullptr) jw->key("chip_failure_sweep").begin_array();
   for (const double mtbf : {10000.0, 50000.0, 200000.0}) {
     core::FailureStudyParams params;
     params.mtbf_hours = mtbf;
@@ -42,14 +43,25 @@ void print_report() {
                   static_cast<unsigned long long>(report.unrecovered_spare_exhausted),
                   static_cast<unsigned long long>(report.unrecovered_plan_failure),
                   report.chip_hours_lost, 100.0 * report.availability);
+      if (jw != nullptr) {
+        jw->begin_object();
+        jw->key("mtbf_hours").value(mtbf);
+        jw->key("policy").value(name(policy));
+        jw->key("failures").value(report.failures);
+        jw->key("unrecovered").value(report.unrecovered);
+        jw->key("chip_hours_lost").value(report.chip_hours_lost);
+        jw->key("availability").value(report.availability);
+        jw->end_object();
+      }
     }
   }
+  if (jw != nullptr) jw->end_array();
   bench::line();
   std::printf("optical repair turns failure handling into a rounding error: the blast\n");
   std::printf("radius is one server for microseconds, not one rack for minutes.\n");
 }
 
-void print_component_report() {
+void print_component_report(bench::JsonWriter* jw) {
   bench::header(
       "Degraded mode: component faults + repair ladder, 4096 chips, 90 days");
   std::printf("typed component faults (stuck/drifted MZIs, waveguide loss drift,\n");
@@ -57,10 +69,27 @@ void print_component_report() {
   std::printf("bursts) against a live 2-wafer fabric; each degraded circuit climbs\n");
   std::printf("the repair ladder.\n");
 
+  if (jw != nullptr) jw->key("component_fault_sweep").begin_array();
   for (const double mtbf : {10000.0, 25000.0, 100000.0}) {
     core::ComponentStudyParams params;
     params.component_mtbf_hours = mtbf;
     const auto report = core::run_component_fault_study(params);
+    if (jw != nullptr) {
+      jw->begin_object();
+      jw->key("component_mtbf_hours").value(mtbf);
+      jw->key("fault_events").value(report.fault_events);
+      jw->key("faults_injected").value(report.faults_injected);
+      jw->key("degraded_circuits").value(report.degraded_circuits);
+      jw->key("unrecovered").value(report.unrecovered);
+      jw->key("recovered_by").begin_array();
+      for (std::size_t k = 0; k < routing::kRepairRungCount; ++k) {
+        jw->value(report.recovered_by[k]);
+      }
+      jw->end_array();
+      jw->key("chip_hours_lost").value(report.chip_hours_lost);
+      jw->key("availability").value(report.availability);
+      jw->end_object();
+    }
     std::printf("\ncomponent MTBF %.0fk hours:\n", mtbf / 1000.0);
     std::printf(
         "  events %llu  faults %llu  bursts %llu  degraded circuits %llu "
@@ -81,15 +110,27 @@ void print_component_report() {
                 static_cast<unsigned long long>(report.unrecovered),
                 report.chip_hours_lost, 100.0 * report.availability);
   }
+  if (jw != nullptr) jw->end_array();
   bench::line();
   std::printf("most faults never leave the optical domain: retune/reroute/respare\n");
   std::printf("absorb them in microseconds; only endpoint-killing faults pay the\n");
   std::printf("rack-migration rung, and they set the availability floor.\n");
 }
 
-void print_all_reports() {
-  print_report();
-  print_component_report();
+void print_all_reports(bool emit_json) {
+  bench::JsonWriter jw;
+  bench::JsonWriter* out = emit_json ? &jw : nullptr;
+  if (out != nullptr) {
+    jw.begin_object();
+    jw.key("bench").value("availability");
+  }
+  print_report(out);
+  print_component_report(out);
+  if (out != nullptr) {
+    jw.end_object();
+    const char* path = "BENCH_availability.json";
+    std::printf("%s %s\n", jw.write_file(path) ? "wrote" : "FAILED to write", path);
+  }
 }
 
 void BM_FailureStudy(benchmark::State& state) {
@@ -115,4 +156,4 @@ BENCHMARK(BM_ComponentFaultStudy);
 
 }  // namespace
 
-LP_BENCH_MAIN(print_all_reports)
+LP_BENCH_MAIN_JSON(print_all_reports)

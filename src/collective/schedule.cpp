@@ -108,4 +108,31 @@ Schedule build_reduce_scatter_schedule(const topo::TpuCluster& cluster,
   return schedule;
 }
 
+Schedule build_elastic_ring_schedule(const std::vector<topo::TpuId>& members,
+                                     DataSize n, Bandwidth rate,
+                                     Duration reconfig_delay) {
+  Schedule schedule;
+  const std::size_t m = members.size();
+  if (m < 2) return schedule;
+
+  const DataSize per_step = n / static_cast<double>(m);
+  // Ring AllReduce: m-1 reduce-scatter steps followed by m-1 all-gather
+  // steps, identical traffic pattern in both halves.
+  const std::size_t steps = 2 * (m - 1);
+  for (std::size_t step = 0; step < steps; ++step) {
+    Phase phase;
+    if (step == 0) phase.pre_delay = reconfig_delay;
+    for (std::size_t e = 0; e < m; ++e) {
+      Transfer t;
+      t.src = members[e];
+      t.dst = members[(e + 1) % m];
+      t.bytes = per_step;
+      t.dedicated_rate = rate;
+      phase.transfers.push_back(std::move(t));
+    }
+    schedule.phases.push_back(std::move(phase));
+  }
+  return schedule;
+}
+
 }  // namespace lp::coll

@@ -62,4 +62,18 @@ struct Schedule {
                                                      RedirectStrategy strategy =
                                                          RedirectStrategy::kStaticSplit);
 
+/// Lowers a ring AllReduce over an explicit member list to an optical
+/// schedule: 2*(m-1) phases (reduce-scatter then all-gather), each phase
+/// sending N/m bytes from member[i] to member[(i+1) % m] on a dedicated
+/// circuit at `rate`, with the first phase paying `reconfig_delay`.
+///
+/// The member list is *whatever chips survive*, in ring order — this is the
+/// elastic-degradation builder the runtime layer uses after a chip death
+/// exhausts respare: the ring shrinks to the survivors and the job continues
+/// at whatever `rate` the bridging circuits sustain instead of failing.
+/// Fewer than two members yields an empty schedule (nothing to exchange).
+[[nodiscard]] Schedule build_elastic_ring_schedule(const std::vector<topo::TpuId>& members,
+                                                   DataSize n, Bandwidth rate,
+                                                   Duration reconfig_delay);
+
 }  // namespace lp::coll

@@ -4,13 +4,41 @@
 
 namespace lp::core {
 
+IterationTimeline overlap_buckets(const TrainingConfig& config,
+                                  Duration first_bucket_comm,
+                                  Duration steady_bucket_comm) {
+  IterationTimeline timeline;
+  timeline.buckets.reserve(config.buckets);
+  IterationReport& report = timeline.report;
+
+  report.compute_time =
+      config.compute_per_bucket * static_cast<double>(config.buckets);
+
+  Duration comm_free = Duration::zero();
+  Duration comm_end = Duration::zero();
+  for (std::uint32_t b = 0; b < config.buckets; ++b) {
+    const Duration compute_done =
+        config.compute_per_bucket * static_cast<double>(b + 1);
+    const Duration duration = b == 0 ? first_bucket_comm : steady_bucket_comm;
+    const Duration start = std::max(compute_done, comm_free);
+    comm_end = start + duration;
+    comm_free = comm_end;
+    report.comm_time += duration;
+    timeline.buckets.push_back({compute_done, start, comm_end});
+  }
+
+  report.iteration = std::max(report.compute_time, comm_end);
+  report.exposed_comm = report.iteration - report.compute_time;
+  if (report.exposed_comm < Duration::zero()) report.exposed_comm = Duration::zero();
+  return timeline;
+}
+
 IterationReport simulate_training_iteration(const topo::Slice& slice,
                                             const topo::Shape& rack_shape,
                                             const TrainingConfig& config,
                                             coll::Interconnect interconnect,
                                             const coll::CostParams& params,
                                             coll::RedirectStrategy strategy) {
-  IterationReport report;
   const auto plan = coll::build_plan(slice, rack_shape);
 
   // Per-bucket AllReduce cost.  With static-split optics the redirected
@@ -24,26 +52,8 @@ IterationReport simulate_training_iteration(const topo::Slice& slice,
     steady_cost.reconfigs = 0;
   }
 
-  report.compute_time =
-      config.compute_per_bucket * static_cast<double>(config.buckets);
-
-  Duration comm_free = Duration::zero();
-  Duration comm_end = Duration::zero();
-  for (std::uint32_t b = 0; b < config.buckets; ++b) {
-    const Duration compute_done =
-        config.compute_per_bucket * static_cast<double>(b + 1);
-    const auto& cost = b == 0 ? first_cost : steady_cost;
-    const Duration duration = cost.total(params);
-    const Duration start = std::max(compute_done, comm_free);
-    comm_end = start + duration;
-    comm_free = comm_end;
-    report.comm_time += duration;
-  }
-
-  report.iteration = std::max(report.compute_time, comm_end);
-  report.exposed_comm = report.iteration - report.compute_time;
-  if (report.exposed_comm < Duration::zero()) report.exposed_comm = Duration::zero();
-  return report;
+  return overlap_buckets(config, first_cost.total(params), steady_cost.total(params))
+      .report;
 }
 
 }  // namespace lp::core

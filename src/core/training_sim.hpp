@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "collective/cost_model.hpp"
 #include "topo/slice.hpp"
@@ -44,6 +45,31 @@ struct IterationReport {
                : exposed_comm.to_seconds() / iteration.to_seconds();
   }
 };
+
+/// When inside the compute/communication overlap each bucket's collective
+/// ran.  All times are offsets from the iteration's start.
+struct BucketTiming {
+  Duration compute_done{Duration::zero()};  ///< bucket's gradients ready
+  Duration comm_start{Duration::zero()};    ///< its AllReduce began
+  Duration comm_end{Duration::zero()};      ///< its AllReduce finished
+};
+
+struct IterationTimeline {
+  std::vector<BucketTiming> buckets;
+  IterationReport report;
+};
+
+/// The bucket-overlap engine behind simulate_training_iteration, factored
+/// out so callers that already know per-bucket collective durations (e.g.
+/// the runtime layer driving a faulted ring schedule) can replay the same
+/// overlap arithmetic.  Bucket 0 runs for `first_bucket_comm`, every later
+/// bucket for `steady_bucket_comm`; buckets share one collective channel.
+/// The per-bucket timeline lets an event-driven caller ask "was a
+/// collective in flight at wall-clock t?" — the question a mid-iteration
+/// fault forces.
+[[nodiscard]] IterationTimeline overlap_buckets(const TrainingConfig& config,
+                                                Duration first_bucket_comm,
+                                                Duration steady_bucket_comm);
 
 /// Simulates one training iteration of the slice on the given interconnect.
 [[nodiscard]] IterationReport simulate_training_iteration(

@@ -52,7 +52,7 @@ CircuitDiagnosis HealthMonitor::diagnose(const fabric::Fabric& fab,
   diag.budget = budget.evaluate_at_loss(budget.path_loss(profile) + diag.fault_excess,
                                         profile.mzi_traversals);
   diag.budget_failed =
-      !diag.budget.closes || diag.budget.margin < params_.min_margin;
+      !diag.budget.closes || !params_.margin_acceptable(diag.budget.margin);
 
   if (diag.hard_down || diag.src_dead || diag.dst_dead) {
     diag.health = CircuitHealth::kDown;

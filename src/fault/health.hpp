@@ -42,7 +42,19 @@ struct HealthMonitorParams {
   /// Minimum remaining link-budget margin before a circuit is declared
   /// degraded even though its pre-FEC BER still clears the FEC threshold
   /// (running at zero margin one drift away from an outage is not healthy).
+  ///
+  /// Boundary contract: the threshold is *closed on the healthy side*.  A
+  /// margin exactly equal to min_margin is acceptable; only margin strictly
+  /// below it degrades the circuit.  The comparison is a plain IEEE-754
+  /// `<` on the dB values, so a circuit sitting exactly on the 0.5 dB line
+  /// classifies the same way on every platform and run.
   Decibel min_margin{Decibel::db(0.5)};
+
+  /// The single comparison every margin check in the monitor goes through,
+  /// so the closed/open side cannot drift between call sites.
+  [[nodiscard]] constexpr bool margin_acceptable(Decibel margin) const {
+    return margin >= min_margin;
+  }
 };
 
 struct CircuitDiagnosis {

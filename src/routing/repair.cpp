@@ -73,6 +73,14 @@ EscalationOutcome escalate_repair(Fabric& fab, const DegradedCircuit& victim,
   const GlobalTile dst = c->dst;
   const std::uint32_t lambdas =
       options.wavelengths != 0 ? options.wavelengths : c->wavelengths;
+  // The budget gates starting an attempt; a started attempt is charged in
+  // full.  On exhaustion the victim stays established for a later climb.
+  auto exhausted = [&] {
+    if (options.budget <= Duration::zero()) return false;
+    if (out.latency < options.budget) return false;
+    out.budget_exhausted = true;
+    return true;
+  };
   auto attempt = [&](RepairRung r) { ++out.attempts[rung_index(r)]; };
   auto succeed = [&](RepairRung r, std::vector<fabric::CircuitId> circuits) {
     out.recovered = true;
@@ -87,6 +95,7 @@ EscalationOutcome escalate_repair(Fabric& fab, const DegradedCircuit& victim,
   // genuinely short and the rung fails).
   if (victim.dead_lasers > 0 && !victim.hard_down && !victim.src_dead &&
       !victim.dst_dead) {
+    if (exhausted()) return out;
     attempt(RepairRung::kRetune);
     out.latency += probe_cost(fab);
     if (fab.wafer(src.wafer).tile(src.tile).tx_free() >= victim.dead_lasers) {
@@ -108,6 +117,7 @@ EscalationOutcome escalate_repair(Fabric& fab, const DegradedCircuit& victim,
     const std::uint32_t strategies = src.wafer == dst.wafer ? 2 : 1;
     for (std::uint32_t s = 0; s < std::min(strategies, options.retries_per_rung);
          ++s) {
+      if (exhausted()) return out;
       attempt(RepairRung::kReroute);
       Result<fabric::CircuitId> placed = Err("unattempted");
       if (src.wafer == dst.wafer && s == 0) {
@@ -146,6 +156,7 @@ EscalationOutcome escalate_repair(Fabric& fab, const DegradedCircuit& victim,
     std::vector<GlobalTile> candidates = options.spare_candidates;
     for (std::uint32_t r = 0; r < options.retries_per_rung && !candidates.empty();
          ++r) {
+      if (exhausted()) return out;
       attempt(RepairRung::kRespare);
       const auto choice = choose_spare(fab, candidates, {anchor});
       if (!choice) break;
@@ -174,6 +185,7 @@ EscalationOutcome escalate_repair(Fabric& fab, const DegradedCircuit& victim,
   // Rung 4 — electrical torus detour: leave the optical domain, ride the
   // static electrical links around the fault.  Feasibility is the caller's
   // congestion analysis (usually false, per Figure 6).
+  if (exhausted()) return out;
   attempt(RepairRung::kElectricalDetour);
   if (options.electrical_feasible) {
     fab.disconnect(victim.id);
@@ -182,7 +194,9 @@ EscalationOutcome escalate_repair(Fabric& fab, const DegradedCircuit& victim,
     return out;
   }
 
-  // Rung 5 — rack migration: the [60] baseline.  Cannot fail.
+  // Rung 5 — rack migration: the [60] baseline.  Cannot fail — but a
+  // bounded climb may run out of budget before it is allowed to start.
+  if (exhausted()) return out;
   attempt(RepairRung::kRackMigration);
   fab.disconnect(victim.id);
   out.latency += options.migration_latency;

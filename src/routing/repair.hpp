@@ -122,6 +122,14 @@ struct EscalationOptions {
   /// Max attempts per rung (distinct strategies/spares; never the same
   /// deterministic attempt twice).
   std::uint32_t retries_per_rung{2};
+  /// Wall-clock budget for the whole climb; zero means unlimited.  The
+  /// budget gates *starting* an attempt: once cumulative latency reaches it,
+  /// no further rung is tried — not even rack migration — and the outcome
+  /// reports budget_exhausted.  An attempt that has started is charged in
+  /// full even if it overruns the budget.  On exhaustion the victim circuit
+  /// is left established, so the caller can back off and climb again with a
+  /// larger budget (runtime::drive_recovery does exactly that).
+  Duration budget{Duration::zero()};
   /// Wavelengths for replacement circuits; 0 inherits the victim's count.
   std::uint32_t wavelengths{0};
   RouteOptions route{};
@@ -140,6 +148,12 @@ struct EscalationOptions {
 
 struct EscalationOutcome {
   bool recovered{false};
+  /// The climb stopped because options.budget ran out, not because the
+  /// rungs were out of ideas.  Distinct from a plan failure (recovered ==
+  /// false with budget to spare, which only happens when `victim.id` names
+  /// no established circuit): a budget-exhausted victim is still repairable
+  /// given more time.
+  bool budget_exhausted{false};
   RepairRung rung{RepairRung::kRackMigration};
   /// Circuits carrying the traffic after recovery: the original id for
   /// retune, the replacement for reroute, the anchor<->spare pair for

@@ -1,0 +1,50 @@
+#include "runtime/recovery.hpp"
+
+namespace lp::runtime {
+
+RecoveryResult drive_recovery(fabric::Fabric& fab,
+                              const routing::DegradedCircuit& victim,
+                              const RecoveryPolicy& policy,
+                              routing::EscalationOptions base) {
+  RecoveryResult res;
+  base.retries_per_rung = policy.retries_per_rung;
+  // Strictly optical: rung 4 never succeeds and rung 5 is a free sentinel —
+  // landing there means "out of optical ideas", and the caller owns what
+  // that costs (elastic shrink or a migration charge).
+  base.electrical_feasible = false;
+  base.migration_latency = Duration::zero();
+
+  Duration budget = policy.initial_budget;
+  Duration backoff = policy.backoff_base;
+  for (std::uint32_t attempt = 0; attempt <= policy.max_attempts; ++attempt) {
+    routing::EscalationOptions opts = base;
+    // The last climb is unbounded so the loop always settles the victim.
+    opts.budget = attempt == policy.max_attempts ? Duration::zero() : budget;
+    const routing::EscalationOutcome out = routing::escalate_repair(fab, victim, opts);
+    ++res.climbs;
+    for (std::size_t k = 0; k < routing::kRepairRungCount; ++k) {
+      res.rung_attempts[k] += out.attempts[k];
+    }
+    res.repair_latency += out.latency;
+    if (out.recovered) {
+      res.rung = out.rung;
+      if (out.rung == routing::RepairRung::kRackMigration) {
+        res.fell_through = true;
+      } else {
+        res.recovered = true;
+        res.circuits = out.circuits;
+      }
+      return res;
+    }
+    if (!out.budget_exhausted) {
+      res.plan_failure = true;  // victim.id names no established circuit
+      return res;
+    }
+    res.backoff_latency += backoff;
+    budget = budget * policy.backoff_factor;
+    backoff = backoff * policy.backoff_factor;
+  }
+  return res;  // unreachable: the unbounded climb always returns above
+}
+
+}  // namespace lp::runtime

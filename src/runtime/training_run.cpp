@@ -1,0 +1,482 @@
+#include "runtime/training_run.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "topo/cluster.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace lp::runtime {
+namespace {
+
+fabric::FabricConfig run_fabric_config() {
+  fabric::FabricConfig config;
+  config.wafer_count = 2;
+  return config;
+}
+
+/// Sums the schedule into per-bucket collective durations.  Every phase
+/// runs its transfers simultaneously on dedicated circuits, so its length
+/// is the slowest transfer plus the phase's reconfiguration pre-delay.
+/// The ring circuits persist across buckets, so only the first bucket pays
+/// pre-delays (mirroring training_sim's static-split accounting).
+struct BucketCosts {
+  Duration first{Duration::zero()};
+  Duration steady{Duration::zero()};
+};
+
+BucketCosts schedule_bucket_costs(const coll::Schedule& schedule) {
+  BucketCosts costs;
+  for (const coll::Phase& phase : schedule.phases) {
+    Duration longest = Duration::zero();
+    for (const coll::Transfer& t : phase.transfers) {
+      longest = std::max(longest, transfer_time(t.bytes, t.dedicated_rate));
+    }
+    costs.first += phase.pre_delay + longest;
+    costs.steady += longest;
+  }
+  return costs;
+}
+
+}  // namespace
+
+TrainingRun::TrainingRun(const RunConfig& config)
+    : config_{config},
+      fab_{run_fabric_config()},
+      injector_{fab_, config.model, config.seed},
+      monitor_{config.health} {
+  // Fiber bundles between wafer 0's east column and wafer 1's west column,
+  // one per row, generously sized so fibers are never the binding resource.
+  const auto& w = fab_.wafer(0);
+  for (std::int32_t row = 0; row < w.rows(); ++row) {
+    fab_.add_fiber_link({0, w.tile_at({row, w.cols() - 1})}, {1, w.tile_at({row, 0})},
+                        64);
+  }
+  establish_ring();
+  rebuild_costs();
+}
+
+void TrainingRun::establish_ring() {
+  // Tiles 0..k-1 of wafer 0 then 0..k-1 of wafer 1, closed into one ring
+  // with two cross-wafer edges.  Tiles k.. stay idle: the spare pool.
+  const std::uint32_t tiles = fab_.wafer(0).tile_count();
+  const std::uint32_t k = std::min(config_.ring_tiles_per_wafer, tiles);
+  for (fabric::WaferId wafer = 0; wafer < fab_.wafer_count(); ++wafer) {
+    for (fabric::TileId t = 0; t < k; ++t) members_.push_back({wafer, t});
+  }
+  circuits_.resize(members_.size());
+  for (std::size_t e = 0; e < members_.size(); ++e) {
+    auto placed = fab_.connect(members_[e], members_[(e + 1) % members_.size()],
+                               config_.wavelengths);
+    circuits_[e] = placed ? placed.value() : 0;
+  }
+}
+
+void TrainingRun::rebuild_costs() {
+  Bandwidth rate;
+  Duration reconfig = Duration::zero();
+  if (config_.policy == RunPolicy::kPhotonicRepair) {
+    // The ring runs at its slowest edge (a 1-lambda elastic bridge drags
+    // every step down — the price of staying alive).
+    rate = Bandwidth::zero();
+    for (const fabric::CircuitId id : circuits_) {
+      const Bandwidth b = fab_.circuit_bandwidth(id);
+      if (rate.is_zero() || b < rate) rate = b;
+    }
+    reconfig = config_.cost.reconfig;
+  } else {
+    rate = config_.cost.chip_bandwidth / static_cast<double>(config_.cost.total_dims);
+  }
+  const std::uint32_t tiles = fab_.wafer(0).tile_count();
+  std::vector<topo::TpuId> ids;
+  ids.reserve(members_.size());
+  for (const fabric::GlobalTile& m : members_) {
+    ids.push_back(static_cast<topo::TpuId>(m.wafer * tiles + m.tile));
+  }
+  schedule_ = coll::build_elastic_ring_schedule(ids, config_.iteration.bucket_bytes,
+                                                rate, reconfig);
+  const BucketCosts costs = schedule_bucket_costs(schedule_);
+  first_bucket_comm_ = costs.first;
+  steady_bucket_comm_ = costs.steady;
+}
+
+std::vector<fabric::GlobalTile> TrainingRun::free_tiles() const {
+  std::vector<fabric::GlobalTile> out;
+  for (fabric::WaferId wafer = 0; wafer < fab_.wafer_count(); ++wafer) {
+    const auto& w = fab_.wafer(wafer);
+    for (fabric::TileId t = 0; t < w.tile_count(); ++t) {
+      if (w.tile(t).tx_used() == 0 && w.tile(t).rx_used() == 0) {
+        out.push_back({wafer, t});
+      }
+    }
+  }
+  return out;
+}
+
+routing::EscalationOptions TrainingRun::base_options() const {
+  routing::EscalationOptions opts;
+  opts.wavelengths = config_.wavelengths;
+  opts.validate = [this](const fabric::Fabric& f, fabric::CircuitId id) {
+    return monitor_.diagnose(f, cumulative_, id).health ==
+           fault::CircuitHealth::kHealthy;
+  };
+  return opts;
+}
+
+Duration TrainingRun::shrink_ring(std::size_t i, RunReport& report) {
+  Duration dur = Duration::zero();
+  const std::size_t n = members_.size();
+  std::size_t pe = (i + n - 1) % n;
+  fab_.disconnect(circuits_[pe]);
+  fab_.disconnect(circuits_[i]);  // may already be gone (ladder fell through)
+  members_.erase(members_.begin() + static_cast<std::ptrdiff_t>(i));
+  circuits_.erase(circuits_.begin() + static_cast<std::ptrdiff_t>(i));
+  ++report.elastic_shrinks;
+  if (pe > i) --pe;
+  // Bridge the survivors around the gap, degrading to a single wavelength
+  // if the full-width circuit will not place; if even that fails (the fault
+  // quarantined everything between them), drop the unreachable neighbor too
+  // and keep going — the elastic contract is that the run continues on
+  // whatever ring still lights up.
+  while (members_.size() >= 2) {
+    const fabric::GlobalTile from = members_[pe];
+    const fabric::GlobalTile to = members_[(pe + 1) % members_.size()];
+    Result<fabric::CircuitId> placed = fab_.connect(from, to, config_.wavelengths);
+    if (!placed) placed = fab_.connect(from, to, 1);
+    if (placed) {
+      circuits_[pe] = placed.value();
+      const fabric::Circuit* c = fab_.circuit(placed.value());
+      dur += fab_.reconfig().batch_latency(c->mzis_to_program());
+      return dur;
+    }
+    const std::size_t drop = (pe + 1) % members_.size();
+    fab_.disconnect(circuits_[drop]);
+    members_.erase(members_.begin() + static_cast<std::ptrdiff_t>(drop));
+    circuits_.erase(circuits_.begin() + static_cast<std::ptrdiff_t>(drop));
+    if (drop < pe) --pe;
+    ++report.elastic_shrinks;
+  }
+  return dur;  // ring collapsed; run() stops at the next loop check
+}
+
+Duration TrainingRun::recover_dead_member(std::size_t i, RunReport& report,
+                                          bool& removed) {
+  Duration dur = Duration::zero();
+  const std::size_t n = members_.size();
+  const std::size_t pe = (i + n - 1) % n;
+  const fabric::CircuitId in_id = circuits_[pe];
+  const fabric::CircuitId out_id = circuits_[i];
+
+  // The in-edge (prev -> dead) picks the spare: respare re-anchors it as
+  // prev -> spare (plus the reverse circuit, which the ring does not use).
+  routing::EscalationOptions opts = base_options();
+  opts.spare_candidates = free_tiles();
+  const auto diag_in = monitor_.diagnose(fab_, cumulative_, in_id);
+  const RecoveryResult res_in =
+      drive_recovery(fab_, fault::to_degraded(diag_in), config_.recovery, opts);
+  dur += res_in.total();
+  if (res_in.recovered && res_in.rung == routing::RepairRung::kRespare &&
+      res_in.circuits.size() == 2) {
+    const fabric::GlobalTile spare = fab_.circuit(res_in.circuits[0])->dst;
+    fab_.disconnect(res_in.circuits[1]);
+    circuits_[pe] = res_in.circuits[0];
+    ++report.recovered_by[routing::rung_index(routing::RepairRung::kRespare)];
+
+    // The out-edge (dead -> next) must land on the same spare.
+    routing::EscalationOptions opts_out = base_options();
+    opts_out.spare_candidates = {spare};
+    const auto diag_out = monitor_.diagnose(fab_, cumulative_, out_id);
+    const RecoveryResult res_out =
+        drive_recovery(fab_, fault::to_degraded(diag_out), config_.recovery, opts_out);
+    dur += res_out.total();
+    if (res_out.recovered && res_out.rung == routing::RepairRung::kRespare &&
+        res_out.circuits.size() == 2) {
+      fab_.disconnect(res_out.circuits[0]);
+      circuits_[i] = res_out.circuits[1];
+      members_[i] = spare;
+      ++report.recovered_by[routing::rung_index(routing::RepairRung::kRespare)];
+      removed = false;
+      return dur;
+    }
+  }
+  // Respare exhausted (no spare placeable, or the pair could not complete):
+  // elastic degradation instead of migration.
+  dur += shrink_ring(i, report);
+  removed = true;
+  return dur;
+}
+
+TrainingRun::EventOutcome TrainingRun::recover_photonic(RunReport& report) {
+  EventOutcome out;
+
+  // Pass 1 — dead members: replace with a spare (respare pair) or shrink.
+  // Either way the member's device state is gone: rollback.
+  std::size_t i = 0;
+  while (i < members_.size() && members_.size() >= 2) {
+    if (!cumulative_.chip_dead(members_[i])) {
+      ++i;
+      continue;
+    }
+    bool removed = false;
+    out.recovery += recover_dead_member(i, report, removed);
+    out.state_loss = true;
+    if (!removed) ++i;
+  }
+
+  // Pass 2 — surviving-but-degraded edges: retune/reroute in place (pure
+  // stall, no state loss).  No spare candidates here: a live-endpoint
+  // respare would silently move the member's identity.  If the optical
+  // rungs are exhausted, the edge's source member is dropped and the ring
+  // bridges around it.  Each repair can change the topology, so rescan from
+  // the top after every action, bounded by the ring size.
+  std::size_t guard = 4 * (members_.size() + 1);
+  bool progress = true;
+  while (progress && guard-- > 0 && members_.size() >= 2) {
+    progress = false;
+    for (std::size_t e = 0; e < circuits_.size(); ++e) {
+      const auto diag = monitor_.diagnose(fab_, cumulative_, circuits_[e]);
+      if (diag.health == fault::CircuitHealth::kHealthy) continue;
+      const RecoveryResult res = drive_recovery(fab_, fault::to_degraded(diag),
+                                                config_.recovery, base_options());
+      out.recovery += res.total();
+      if (res.recovered) {
+        ++report.recovered_by[routing::rung_index(res.rung)];
+        if (!res.circuits.empty()) circuits_[e] = res.circuits[0];
+      } else {
+        out.recovery += shrink_ring(e, report);
+        out.state_loss = true;
+      }
+      progress = true;
+      break;
+    }
+  }
+  return out;
+}
+
+RunReport TrainingRun::run() {
+  RunReport report;
+  report.policy = config_.policy;
+  report.ring_size_initial = static_cast<std::uint32_t>(members_.size());
+
+  // Healthy baseline under this policy's own interconnect: the goodput
+  // denominator, so the metric isolates availability, not raw bandwidth.
+  const auto healthy =
+      core::overlap_buckets(config_.iteration, first_bucket_comm_, steady_bucket_comm_);
+  report.ideal_time =
+      healthy.report.iteration * static_cast<double>(config_.iterations);
+
+  // Fault arrivals: Poisson over the initial ring's chips, one serial
+  // stream; fault contents come from a second stream so adding draws to one
+  // never perturbs the other.
+  const double rate_per_sec = static_cast<double>(members_.size()) /
+                              (config_.mtbf_hours * 3600.0);
+  Rng arrivals{util::task_seed(config_.seed, 0)};
+  Rng fault_stream{util::task_seed(config_.seed, 1)};
+  const bool scripted = !config_.script.empty();
+  std::size_t script_idx = 0;
+  Duration next_fault = scripted
+                            ? config_.script.front().at
+                            : Duration::seconds(arrivals.exponential(rate_per_sec));
+
+  Duration clock = Duration::zero();
+  Duration last_checkpoint = Duration::zero();
+  std::uint32_t completed = 0;
+
+  while (completed < config_.iterations && members_.size() >= 2) {
+    const auto timeline = core::overlap_buckets(config_.iteration, first_bucket_comm_,
+                                                steady_bucket_comm_);
+    const Duration iter_dur = timeline.report.iteration;
+    const bool fault_pending = !scripted || script_idx < config_.script.size();
+    const Duration t_f = std::max(next_fault, clock);
+    if (!fault_pending || t_f >= clock + iter_dur) {
+      clock += iter_dur;
+      ++completed;
+      if (clock - last_checkpoint >= config_.checkpoint_interval) {
+        last_checkpoint = clock;
+      }
+      continue;
+    }
+
+    // A fault strikes inside this iteration.
+    const Duration offset = t_f - clock;
+    bool mid_collective = false;
+    for (const core::BucketTiming& b : timeline.buckets) {
+      if (b.comm_start <= offset && offset < b.comm_end) {
+        mid_collective = true;
+        break;
+      }
+    }
+    std::vector<fault::Fault> faults;
+    if (scripted) {
+      faults = config_.script[script_idx].faults;
+      ++script_idx;
+    } else {
+      faults = injector_.sample(fault_stream);
+    }
+    ++report.fault_events;
+    report.faults_injected += faults.size();
+    if (mid_collective) ++report.mid_collective_faults;
+
+    fault::FaultSet ev;
+    ev.add_all(faults);
+    ev.apply_to(fab_, config_.model.quarantine_threshold);
+    applied_.push_back(std::move(ev));
+    cumulative_.add_all(faults);
+
+    bool any_unhealthy = false;
+    for (const fabric::CircuitId id : circuits_) {
+      if (monitor_.diagnose(fab_, cumulative_, id).health !=
+          fault::CircuitHealth::kHealthy) {
+        any_unhealthy = true;
+        break;
+      }
+    }
+    if (!any_unhealthy) {
+      // Latent fault: no ring circuit degraded, training never notices.
+      next_fault = scripted
+                       ? (script_idx < config_.script.size()
+                              ? config_.script[script_idx].at
+                              : Duration::infinite())
+                       : t_f + Duration::seconds(arrivals.exponential(rate_per_sec));
+      continue;
+    }
+    ++report.detections;
+
+    // Heartbeat detection: noticed at the first tick at or after the
+    // strike, diagnosed detection_latency later.
+    const double hb = config_.recovery.heartbeat_interval.to_seconds();
+    const Duration detect_done =
+        Duration::seconds(std::ceil(t_f.to_seconds() / hb) * hb) +
+        config_.recovery.detection_latency;
+    report.lost.detection += detect_done - t_f;
+
+    EventOutcome outcome;
+    if (config_.policy == RunPolicy::kElectricalMigration) {
+      // Rack-granularity baseline: any degraded circuit drains the job and
+      // restarts it on fresh hardware — which also clears the fault overlay.
+      ++report.migrations;
+      outcome.recovery = config_.migration_latency;
+      outcome.state_loss = true;
+      for (auto it = applied_.rbegin(); it != applied_.rend(); ++it) {
+        it->revert(fab_);
+      }
+      applied_.clear();
+      cumulative_ = fault::FaultSet{};
+    } else {
+      outcome = recover_photonic(report);
+    }
+    report.lost.recovery += outcome.recovery;
+
+    Duration resume = detect_done + outcome.recovery;
+    if (outcome.state_loss) {
+      // Rollback: everything since the checkpoint is replayed.  Progress is
+      // not rewound; the replay is charged as wall clock instead, which is
+      // the same goodput arithmetic without re-simulating the iterations.
+      const Duration redo = t_f - last_checkpoint;
+      report.lost.redo += redo;
+      ++report.rollbacks;
+      resume += redo;
+      clock = resume;  // the interrupted iteration restarts under new costs
+    } else {
+      // Pure stall (retune/reroute): the interrupted iteration picks up
+      // where it left off and finishes its remaining schedule.
+      clock = resume + (iter_dur - offset);
+      ++completed;
+      if (clock - last_checkpoint >= config_.checkpoint_interval) {
+        last_checkpoint = clock;
+      }
+    }
+    report.recover_seconds.push_back((resume - t_f).to_seconds());
+
+    if (config_.policy == RunPolicy::kPhotonicRepair) rebuild_costs();
+
+    next_fault = scripted
+                     ? (script_idx < config_.script.size()
+                            ? config_.script[script_idx].at
+                            : Duration::infinite())
+                     : clock + Duration::seconds(arrivals.exponential(rate_per_sec));
+  }
+
+  report.iterations_completed = completed;
+  report.ring_size_final = static_cast<std::uint32_t>(members_.size());
+  report.wall_clock = clock;
+  return report;
+}
+
+ResilienceSweepReport run_resilience_sweep(const ResilienceSweepConfig& config) {
+  const std::size_t trials = config.trials;
+  const std::size_t per_point = trials * 2;
+  const std::size_t total = config.mtbf_points.size() * per_point;
+
+  std::vector<RunReport> reports(total);
+  const unsigned threads =
+      config.threads != 0 ? config.threads : util::env_threads();
+  std::optional<util::ThreadPool> local;
+  util::ThreadPool& pool =
+      threads == 0 ? util::ThreadPool::shared() : local.emplace(threads);
+  pool.run(total, [&](std::size_t idx, unsigned) {
+    const std::size_t p = idx / per_point;
+    const std::size_t rem = idx % per_point;
+    const bool photonic = rem < trials;
+    const std::size_t trial = photonic ? rem : rem - trials;
+    RunConfig rc = config.base;
+    rc.mtbf_hours = config.mtbf_points[p];
+    rc.policy = photonic ? RunPolicy::kPhotonicRepair
+                         : RunPolicy::kElectricalMigration;
+    // Both policies of a (point, trial) pair share a seed, so they face the
+    // identical fault timeline — a paired comparison.
+    rc.seed = util::task_seed(config.base.seed, p * trials + trial);
+    TrainingRun run{rc};
+    reports[idx] = run.run();
+  });
+
+  // Fold in ascending task order: bit-identical at any thread count.
+  ResilienceSweepReport out;
+  for (std::size_t p = 0; p < config.mtbf_points.size(); ++p) {
+    for (int pol = 0; pol < 2; ++pol) {
+      MtbfPointReport pt;
+      pt.mtbf_hours = config.mtbf_points[p];
+      pt.policy = pol == 0 ? RunPolicy::kPhotonicRepair
+                           : RunPolicy::kElectricalMigration;
+      pt.trials = config.trials;
+      std::vector<double> recover_all;
+      for (std::size_t t = 0; t < trials; ++t) {
+        const RunReport& r =
+            reports[p * per_point + static_cast<std::size_t>(pol) * trials + t];
+        const double g = r.goodput();
+        pt.goodput_mean += g;
+        pt.goodput_min = std::min(pt.goodput_min, g);
+        pt.goodput_max = std::max(pt.goodput_max, g);
+        pt.lost_redo_seconds += r.lost.redo.to_seconds();
+        pt.lost_detection_seconds += r.lost.detection.to_seconds();
+        pt.lost_recovery_seconds += r.lost.recovery.to_seconds();
+        pt.fault_events += r.fault_events;
+        pt.detections += r.detections;
+        pt.rollbacks += r.rollbacks;
+        pt.elastic_shrinks += r.elastic_shrinks;
+        pt.migrations += r.migrations;
+        for (std::size_t k = 0; k < routing::kRepairRungCount; ++k) {
+          pt.recovered_by[k] += r.recovered_by[k];
+        }
+        recover_all.insert(recover_all.end(), r.recover_seconds.begin(),
+                           r.recover_seconds.end());
+      }
+      const double n = static_cast<double>(trials);
+      pt.goodput_mean /= n;
+      pt.lost_redo_seconds /= n;
+      pt.lost_detection_seconds /= n;
+      pt.lost_recovery_seconds /= n;
+      if (!recover_all.empty()) {
+        pt.recover_p50_seconds = percentile(recover_all, 50.0);
+        pt.recover_p99_seconds = percentile(recover_all, 99.0);
+      }
+      out.points.push_back(pt);
+    }
+  }
+  return out;
+}
+
+}  // namespace lp::runtime

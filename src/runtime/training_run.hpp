@@ -1,0 +1,244 @@
+// Event-driven multi-iteration training-run simulator.
+//
+// core/training_sim prices one iteration; fault/ injects faults and
+// routing/repair fixes circuits — but nothing connects them in time.  A
+// TrainingRun does: it advances the bucket-overlap iteration model through
+// a deterministic fault timeline drawn from fault::FaultInjector, so faults
+// strike at arbitrary points inside an iteration's compute/communication
+// overlap, and plays out the full job-level response:
+//
+//   fault -> heartbeat detection (next tick + detection latency)
+//         -> recovery (policy-dependent, wall clock charged)
+//         -> rollback accounting when state was lost
+//         -> resume, possibly degraded.
+//
+// Two recovery policies give the paper's §4.2 comparison at job level:
+//
+//   * kPhotonicRepair — each degraded ring circuit climbs the repair ladder
+//     under runtime::drive_recovery's bounded-timeout/backoff schedule.
+//     Retune/reroute are pure stalls; respare replaces the dead member with
+//     a spare chip (state restore = rollback).  When the optical rungs are
+//     exhausted the run does NOT migrate: the ring shrinks elastically to
+//     the survivors (coll::build_elastic_ring_schedule) and continues at
+//     reduced bandwidth.
+//   * kElectricalMigration — the [60] baseline: any fault that degrades a
+//     ring circuit rolls back to the checkpoint and migrates the job at
+//     rack granularity, paying migration_latency per event.
+//
+// Determinism contract: a single run is serial and every draw comes from
+// Rng{task_seed(config.seed, stream)} — the report is a pure function of
+// the config.  run_resilience_sweep() parallelizes (mtbf x policy x trial)
+// tasks with per-task seeds and folds results in ascending task order, so
+// the sweep report is bit-identical at any thread count (LIGHTPATH_THREADS
+// included).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "collective/cost_model.hpp"
+#include "collective/schedule.hpp"
+#include "core/training_sim.hpp"
+#include "fault/fault.hpp"
+#include "fault/health.hpp"
+#include "lightpath/fabric.hpp"
+#include "routing/repair.hpp"
+#include "runtime/recovery.hpp"
+#include "util/units.hpp"
+
+namespace lp::runtime {
+
+enum class RunPolicy : std::uint8_t {
+  kPhotonicRepair = 0,
+  kElectricalMigration = 1,
+};
+
+[[nodiscard]] constexpr const char* to_string(RunPolicy p) {
+  switch (p) {
+    case RunPolicy::kPhotonicRepair: return "photonic repair";
+    case RunPolicy::kElectricalMigration: return "electrical migration";
+  }
+  return "?";
+}
+
+/// A fault injected at a scripted wall-clock offset instead of drawn from
+/// the Poisson process — the deterministic probe tests and demos use (e.g.
+/// "kill this chip mid-collective of iteration 3").
+struct ScriptedFault {
+  Duration at{Duration::zero()};
+  std::vector<fault::Fault> faults;
+};
+
+struct RunConfig {
+  RunPolicy policy{RunPolicy::kPhotonicRepair};
+  core::TrainingConfig iteration{
+      /*buckets=*/8, /*bucket_bytes=*/DataSize::mib(64),
+      /*compute_per_bucket=*/Duration::millis(25.0)};
+  std::uint32_t iterations{2000};
+  /// Checkpoints are taken (free of charge) at the first iteration boundary
+  /// once this much wall clock has passed since the previous one; rollback
+  /// replays from there.
+  Duration checkpoint_interval{Duration::seconds(30.0)};
+  /// Per-chip component MTBF, *accelerated* so a minutes-long simulated run
+  /// sees faults at all (real MTBFs are ~1e4 hours against runs of ~0.1
+  /// simulated hours; the photonic/electrical goodput ratio is the metric,
+  /// not absolute availability).
+  double mtbf_hours{1.0};
+  std::uint64_t seed{0x5eed};
+  /// Ring members per wafer (two wafers; tiles beyond the ring are the
+  /// spare pool respare draws from).
+  std::uint32_t ring_tiles_per_wafer{28};
+  /// Wavelengths per ring circuit.
+  std::uint32_t wavelengths{2};
+  fault::FaultModelParams model{};
+  fault::HealthMonitorParams health{};
+  RecoveryPolicy recovery{};
+  coll::CostParams cost{};
+  /// Rack-granularity job migration charge (kElectricalMigration only).
+  Duration migration_latency{Duration::seconds(600.0)};
+  /// Non-empty replaces the Poisson fault timeline entirely (entries fire
+  /// in order; an entry scheduled in the past fires immediately).
+  std::vector<ScriptedFault> script;
+};
+
+/// Where the goodput went.  Lost work per fault = work replayed since the
+/// checkpoint (redo) + time to notice (detection) + time to fix (recovery);
+/// the residual gap to ideal is degraded-bandwidth slowdown after elastic
+/// shrink.
+struct LostWork {
+  Duration redo{Duration::zero()};
+  Duration detection{Duration::zero()};
+  Duration recovery{Duration::zero()};
+
+  [[nodiscard]] Duration total() const { return redo + detection + recovery; }
+};
+
+struct RunReport {
+  RunPolicy policy{RunPolicy::kPhotonicRepair};
+  std::uint32_t iterations_completed{0};
+  std::uint32_t ring_size_initial{0};
+  std::uint32_t ring_size_final{0};
+  std::uint64_t fault_events{0};
+  std::uint64_t faults_injected{0};
+  /// Events whose strike time fell inside an in-flight collective window of
+  /// the interrupted iteration.
+  std::uint64_t mid_collective_faults{0};
+  /// Events that degraded at least one ring circuit (the rest are latent).
+  std::uint64_t detections{0};
+  std::uint64_t rollbacks{0};
+  std::uint64_t elastic_shrinks{0};
+  std::uint64_t migrations{0};
+  /// Optical recoveries by ladder rung (recovery-path histogram; shrinks
+  /// and migrations are counted separately above).
+  std::array<std::uint64_t, routing::kRepairRungCount> recovered_by{};
+  LostWork lost{};
+  /// iterations x the policy's own healthy iteration time.
+  Duration ideal_time{Duration::zero()};
+  Duration wall_clock{Duration::zero()};
+  /// Per-detected-event time from fault strike to resumed training
+  /// (detection + recovery + redo), seconds, in event order.
+  std::vector<double> recover_seconds;
+
+  /// Fraction of ideal progress the wall clock actually delivered.
+  [[nodiscard]] double goodput() const {
+    return wall_clock <= Duration::zero()
+               ? 1.0
+               : ideal_time.to_seconds() / wall_clock.to_seconds();
+  }
+};
+
+/// One simulated training run.  Construct, run() once; the accessors expose
+/// the final world for tests (surviving ring, live schedule, fabric).
+class TrainingRun {
+ public:
+  explicit TrainingRun(const RunConfig& config = {});
+
+  [[nodiscard]] RunReport run();
+
+  [[nodiscard]] const RunConfig& config() const { return config_; }
+  [[nodiscard]] const fabric::Fabric& fabric() const { return fab_; }
+  [[nodiscard]] const std::vector<fabric::GlobalTile>& ring_members() const {
+    return members_;
+  }
+  [[nodiscard]] const std::vector<fabric::CircuitId>& ring_circuits() const {
+    return circuits_;
+  }
+  /// The live collective schedule (rebuilt after every topology change).
+  [[nodiscard]] const coll::Schedule& schedule() const { return schedule_; }
+  /// Faults accumulated over the run (query overlay; never applied).
+  [[nodiscard]] const fault::FaultSet& active_faults() const { return cumulative_; }
+
+ private:
+  struct EventOutcome {
+    Duration recovery{Duration::zero()};
+    bool state_loss{false};
+  };
+
+  void establish_ring();
+  void rebuild_costs();
+  [[nodiscard]] std::vector<fabric::GlobalTile> free_tiles() const;
+  [[nodiscard]] routing::EscalationOptions base_options() const;
+  EventOutcome recover_photonic(RunReport& report);
+  [[nodiscard]] Duration recover_dead_member(std::size_t i, RunReport& report,
+                                             bool& removed);
+  [[nodiscard]] Duration shrink_ring(std::size_t i, RunReport& report);
+
+  RunConfig config_;
+  fabric::Fabric fab_;
+  fault::FaultInjector injector_;
+  fault::HealthMonitor monitor_;
+  /// members_[e] -> members_[(e+1) % n] is circuits_[e].
+  std::vector<fabric::GlobalTile> members_;
+  std::vector<fabric::CircuitId> circuits_;
+  coll::Schedule schedule_;
+  Duration first_bucket_comm_{Duration::zero()};
+  Duration steady_bucket_comm_{Duration::zero()};
+  /// Query overlay of every fault so far (never applied to the ledger).
+  fault::FaultSet cumulative_;
+  /// Per-event applied overlays, in arrival order (reverted on electrical
+  /// migration's fresh rack; otherwise live until the run ends).
+  std::vector<fault::FaultSet> applied_;
+};
+
+/// MTBF sweep: photonic vs electrical goodput, aggregated over trials.
+struct ResilienceSweepConfig {
+  RunConfig base{};
+  std::vector<double> mtbf_points{0.25, 0.5, 1.0, 2.0, 4.0};
+  std::uint32_t trials{8};
+  /// 0 consults LIGHTPATH_THREADS (util::env_threads), then falls back to
+  /// the shared pool.  The report is bit-identical for every value.
+  unsigned threads{0};
+};
+
+struct MtbfPointReport {
+  double mtbf_hours{0.0};
+  RunPolicy policy{RunPolicy::kPhotonicRepair};
+  std::uint32_t trials{0};
+  double goodput_mean{0.0};
+  double goodput_min{1.0};
+  double goodput_max{0.0};
+  double lost_redo_seconds{0.0};       ///< mean per trial
+  double lost_detection_seconds{0.0};  ///< mean per trial
+  double lost_recovery_seconds{0.0};   ///< mean per trial
+  double recover_p50_seconds{0.0};
+  double recover_p99_seconds{0.0};
+  std::uint64_t fault_events{0};
+  std::uint64_t detections{0};
+  std::uint64_t rollbacks{0};
+  std::uint64_t elastic_shrinks{0};
+  std::uint64_t migrations{0};
+  std::array<std::uint64_t, routing::kRepairRungCount> recovered_by{};
+};
+
+struct ResilienceSweepReport {
+  /// One entry per (mtbf point x policy), photonic first within each point.
+  std::vector<MtbfPointReport> points;
+};
+
+/// Deterministic parallel sweep over (mtbf x policy x trial).  Trial
+/// (p, policy, t) runs with seed task_seed(base.seed, flat index), results
+/// fold in ascending flat-index order: bit-identical at any thread count.
+[[nodiscard]] ResilienceSweepReport run_resilience_sweep(
+    const ResilienceSweepConfig& config = {});
+
+}  // namespace lp::runtime

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdlib>
 #include <mutex>
 #include <thread>
 
@@ -109,6 +110,15 @@ void ThreadPool::worker_loop(unsigned worker) {
 ThreadPool& ThreadPool::shared() {
   static ThreadPool pool;
   return pool;
+}
+
+unsigned env_threads() {
+  const char* raw = std::getenv("LIGHTPATH_THREADS");
+  if (raw == nullptr || *raw == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(raw, &end, 10);
+  if (end == raw || *end != '\0' || v == 0 || v > 4096) return 0;
+  return static_cast<unsigned>(v);
 }
 
 std::uint64_t task_seed(std::uint64_t base_seed, std::uint64_t task_index) {

@@ -57,6 +57,14 @@ class ThreadPool {
   unsigned worker_count_;
 };
 
+/// Thread-count override from the LIGHTPATH_THREADS environment variable.
+/// Returns the parsed positive value, or 0 (meaning "use hardware
+/// concurrency") when the variable is unset, empty, or unparsable.  Sweep
+/// entry points consult this when the caller leaves the count at 0, so
+/// `LIGHTPATH_THREADS=1` / `=8` can exercise the bit-identity contract
+/// without recompiling.
+[[nodiscard]] unsigned env_threads();
+
 /// Derives the RNG seed for one task of a sweep.  The mix is a fixed
 /// splitmix64-style hash of (base_seed, task_index): it depends on nothing
 /// but those two values, so a task draws the same stream no matter which

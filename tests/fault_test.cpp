@@ -4,6 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -250,6 +253,102 @@ TEST(Health, LaserLossAndEndpointDeathDiagnoses) {
   EXPECT_EQ(d3.health, CircuitHealth::kDown);
   EXPECT_TRUE(d3.dst_dead);
   EXPECT_FALSE(d3.src_dead);
+}
+
+// The 0.5 dB (min_margin) threshold is closed on the healthy side: margin ==
+// min_margin is acceptable, only strictly below degrades.  Pin that at both
+// the helper and the diagnosis level, bit-exactly, by re-using the monitor's
+// own computed margin as the threshold.
+TEST(Health, MarginExactlyAtThresholdIsHealthy) {
+  constexpr HealthMonitorParams params;
+  static_assert(params.margin_acceptable(Decibel::db(0.5)),
+                "the boundary itself is acceptable");
+  static_assert(params.margin_acceptable(Decibel::db(0.6)));
+  static_assert(!params.margin_acceptable(Decibel::db(0.4999999)));
+
+  Fabric fab = two_wafer_fabric();
+  const auto id = fab.connect({0, 0}, {0, 3}, 2);
+  ASSERT_TRUE(id.ok());
+  FaultSet fs;
+  fs.add({.kind = FaultKind::kWaveguideLoss, .tile = {0, 0},
+          .direction = Direction::kEast, .excess_loss = Decibel::db(0.2)});
+  const auto baseline = HealthMonitor{}.diagnose(fab, fs, id.value());
+  ASSERT_TRUE(baseline.budget.closes);
+  const Decibel faulted_margin = baseline.budget.margin;
+
+  // Threshold exactly equal to the observed margin: still healthy.
+  const HealthMonitor at{HealthMonitorParams{.min_margin = faulted_margin}};
+  const auto d_at = at.diagnose(fab, fs, id.value());
+  EXPECT_EQ(d_at.health, CircuitHealth::kHealthy)
+      << "margin == min_margin must classify healthy on every platform";
+  EXPECT_FALSE(d_at.budget_failed);
+
+  // The next representable dB above the margin: degraded.
+  const HealthMonitor above{HealthMonitorParams{
+      .min_margin = Decibel::db(std::nextafter(
+          faulted_margin.value(), std::numeric_limits<double>::infinity()))}};
+  const auto d_above = above.diagnose(fab, fs, id.value());
+  EXPECT_EQ(d_above.health, CircuitHealth::kDegraded);
+  EXPECT_TRUE(d_above.budget_failed);
+}
+
+// Property: for any sampled fault set, apply_to() followed by revert() is an
+// exact no-op on the fabric's resource ledger — even while a multi-hop ring
+// schedule is in flight (established circuits pin lanes, wavelengths, and
+// fibers that the overlay must not disturb).
+TEST(FaultSet, ApplyRevertRoundTripsDuringInFlightSchedule) {
+  Fabric fab = two_wafer_fabric();
+  // An in-flight ring phase: a closed loop of circuits across both wafers,
+  // like the runtime layer's collective mid-iteration.
+  const std::vector<GlobalTile> ring = {{0, 0}, {0, 3}, {0, 11}, {0, 7},
+                                        {1, 0}, {1, 9},  {1, 2}};
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    ASSERT_TRUE(fab.connect(ring[i], ring[(i + 1) % ring.size()], 2).ok())
+        << "ring edge " << i;
+  }
+
+  struct Snapshot {
+    std::vector<std::uint32_t> lanes;  // per (wafer, tile, direction) free lanes
+    std::vector<std::uint32_t> endpoints;  // per tile tx_used / rx_used
+    std::vector<std::uint32_t> fiber_used;
+    std::vector<bool> fiber_down;
+    std::vector<fabric::CircuitId> circuits;
+  };
+  const auto snapshot = [](const Fabric& f) {
+    Snapshot s;
+    for (fabric::WaferId wid = 0; wid < f.wafer_count(); ++wid) {
+      const auto& w = f.wafer(wid);
+      for (fabric::TileId t = 0; t < w.tile_count(); ++t) {
+        for (const Direction d : {Direction::kNorth, Direction::kEast,
+                                  Direction::kSouth, Direction::kWest}) {
+          if (w.neighbor(t, d)) s.lanes.push_back(w.lanes_free(t, d));
+        }
+        s.endpoints.push_back(w.tile(t).tx_used());
+        s.endpoints.push_back(w.tile(t).rx_used());
+      }
+    }
+    for (const auto& link : f.fiber_links()) {
+      s.fiber_used.push_back(link.used);
+      s.fiber_down.push_back(link.down);
+    }
+    s.circuits = f.circuit_ids();
+    return s;
+  };
+
+  const Snapshot before = snapshot(fab);
+  const FaultInjector injector{fab, {}, 0xab5e};
+  for (std::uint64_t trial = 0; trial < 50; ++trial) {
+    FaultSet fs;
+    fs.add_all(injector.sample_trial(trial));
+    fs.apply_to(fab);
+    fs.revert(fab);
+    const Snapshot after = snapshot(fab);
+    ASSERT_EQ(after.lanes, before.lanes) << "trial " << trial;
+    ASSERT_EQ(after.endpoints, before.endpoints) << "trial " << trial;
+    ASSERT_EQ(after.fiber_used, before.fiber_used) << "trial " << trial;
+    ASSERT_EQ(after.fiber_down, before.fiber_down) << "trial " << trial;
+    ASSERT_EQ(after.circuits, before.circuits) << "trial " << trial;
+  }
 }
 
 TEST(Health, ScanReportsAscendingIds) {

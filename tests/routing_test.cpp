@@ -443,7 +443,66 @@ TEST(Escalate, UnknownCircuitIsNotRepairable) {
   victim.id = 12345;
   const auto out = escalate_repair(fab, victim, {});
   EXPECT_FALSE(out.recovered);
+  EXPECT_FALSE(out.budget_exhausted) << "plan failure, not a timeout";
   for (const auto a : out.attempts) EXPECT_EQ(a, 0u);
+}
+
+// --- escalate_repair: wall-clock budget ------------------------------------
+
+TEST(Escalate, BudgetExhaustionLeavesVictimEstablished) {
+  Fabric fab;
+  const auto id = fab.connect(GlobalTile{0, 0}, GlobalTile{0, 3}, 2);
+  ASSERT_TRUE(id.ok());
+  DegradedCircuit victim;
+  victim.id = id.value();
+  victim.hard_down = true;
+  EscalationOptions opts;
+  // Every replacement is rejected, so each reroute/respare attempt burns
+  // probe latency; a sub-attempt budget exhausts after the first charge.
+  opts.spare_candidates = {GlobalTile{0, 11}};
+  opts.validate = [](const Fabric&, fabric::CircuitId) { return false; };
+  opts.budget = Duration::micros(0.001);
+  const auto out = escalate_repair(fab, victim, opts);
+  EXPECT_FALSE(out.recovered);
+  EXPECT_TRUE(out.budget_exhausted);
+  EXPECT_GE(out.latency, opts.budget) << "the started attempt is charged in full";
+  EXPECT_EQ(out.attempts[rung_index(RepairRung::kRackMigration)], 0u)
+      << "exhaustion gates even the last-resort rung";
+  EXPECT_NE(fab.circuit(id.value()), nullptr)
+      << "exhausted climb leaves the victim for a later retry";
+  EXPECT_EQ(fab.active_circuits(), 1u) << "no leaked replacements";
+}
+
+TEST(Escalate, ZeroBudgetMeansUnlimited) {
+  Fabric fab;
+  const auto id = fab.connect(GlobalTile{0, 0}, GlobalTile{0, 3}, 2);
+  ASSERT_TRUE(id.ok());
+  DegradedCircuit victim;
+  victim.id = id.value();
+  victim.hard_down = true;
+  EscalationOptions opts;
+  opts.validate = [](const Fabric&, fabric::CircuitId) { return false; };
+  ASSERT_EQ(opts.budget, Duration::zero());
+  const auto out = escalate_repair(fab, victim, opts);
+  EXPECT_TRUE(out.recovered) << "unlimited budget always reaches rung 5";
+  EXPECT_EQ(out.rung, RepairRung::kRackMigration);
+  EXPECT_FALSE(out.budget_exhausted);
+}
+
+TEST(Escalate, GenerousBudgetDoesNotChangeTheOutcome) {
+  Fabric fab;
+  const auto id = fab.connect(GlobalTile{0, 0}, GlobalTile{0, 3}, 2);
+  ASSERT_TRUE(id.ok());
+  DegradedCircuit victim;
+  victim.id = id.value();
+  victim.dead_lasers = 2;
+  EscalationOptions opts;
+  opts.budget = Duration::seconds(1.0);
+  const auto out = escalate_repair(fab, victim, opts);
+  EXPECT_TRUE(out.recovered);
+  EXPECT_EQ(out.rung, RepairRung::kRetune);
+  EXPECT_FALSE(out.budget_exhausted);
+  EXPECT_LT(out.latency, opts.budget);
 }
 
 }  // namespace

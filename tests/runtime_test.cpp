@@ -1,0 +1,297 @@
+// Tests of the runtime layer: the bounded-timeout recovery driver and the
+// event-driven training-run simulator (fault timeline -> detection ->
+// recovery -> rollback -> goodput accounting).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "collective/schedule.hpp"
+#include "core/training_sim.hpp"
+#include "fault/fault.hpp"
+#include "fault/health.hpp"
+#include "lightpath/fabric.hpp"
+#include "routing/repair.hpp"
+#include "runtime/recovery.hpp"
+#include "runtime/training_run.hpp"
+#include "util/parallel.hpp"
+
+namespace lp::runtime {
+namespace {
+
+using fabric::Fabric;
+using fabric::GlobalTile;
+
+// --- drive_recovery --------------------------------------------------------
+
+TEST(DriveRecovery, RetuneRecoversOnTheFirstClimb) {
+  Fabric fab;
+  const auto id = fab.connect(GlobalTile{0, 0}, GlobalTile{0, 3}, 2);
+  ASSERT_TRUE(id.ok());
+  routing::DegradedCircuit victim;
+  victim.id = id.value();
+  victim.dead_lasers = 2;
+  const RecoveryResult res = drive_recovery(fab, victim, RecoveryPolicy{});
+  EXPECT_TRUE(res.recovered);
+  EXPECT_FALSE(res.fell_through);
+  EXPECT_FALSE(res.plan_failure);
+  EXPECT_EQ(res.rung, routing::RepairRung::kRetune);
+  EXPECT_EQ(res.climbs, 1u);
+  EXPECT_EQ(res.backoff_latency, Duration::zero());
+  ASSERT_EQ(res.circuits.size(), 1u);
+  EXPECT_EQ(res.circuits.front(), id.value());
+}
+
+TEST(DriveRecovery, UnknownVictimIsAPlanFailure) {
+  Fabric fab;
+  routing::DegradedCircuit victim;
+  victim.id = 9999;
+  const RecoveryResult res = drive_recovery(fab, victim, RecoveryPolicy{});
+  EXPECT_TRUE(res.plan_failure);
+  EXPECT_FALSE(res.recovered);
+  EXPECT_FALSE(res.fell_through);
+  EXPECT_EQ(res.climbs, 1u) << "a plan failure is diagnosed on the first climb";
+}
+
+// drive_recovery is strictly optical: when every optical rung is out of
+// ideas the ladder lands on rung 5, which is reported as fell_through (the
+// caller degrades elastically) and charged nothing for migration.
+TEST(DriveRecovery, OpticalExhaustionFallsThroughWithoutMigrationCharge) {
+  Fabric fab;
+  const auto id = fab.connect(GlobalTile{0, 0}, GlobalTile{0, 3}, 2);
+  ASSERT_TRUE(id.ok());
+  routing::DegradedCircuit victim;
+  victim.id = id.value();
+  victim.dst_dead = true;  // retune/reroute cannot help, no spares offered
+  const RecoveryResult res = drive_recovery(fab, victim, RecoveryPolicy{});
+  EXPECT_FALSE(res.recovered);
+  EXPECT_TRUE(res.fell_through);
+  EXPECT_EQ(res.rung, routing::RepairRung::kRackMigration);
+  EXPECT_EQ(fab.circuit(id.value()), nullptr) << "the dead edge is torn down";
+  EXPECT_LT(res.total(), Duration::seconds(1.0))
+      << "rung 5 is a free sentinel here, not a 600 s migration";
+}
+
+TEST(DriveRecovery, BudgetExhaustionBacksOffExponentially) {
+  Fabric fab;
+  const auto id = fab.connect(GlobalTile{0, 0}, GlobalTile{0, 3}, 2);
+  ASSERT_TRUE(id.ok());
+  routing::DegradedCircuit victim;
+  victim.id = id.value();
+  victim.hard_down = true;
+  routing::EscalationOptions base;
+  base.validate = [](const Fabric&, fabric::CircuitId) { return false; };
+  RecoveryPolicy policy;
+  policy.initial_budget = Duration::micros(0.001);  // below one probe's cost
+  policy.backoff_base = Duration::micros(10.0);
+  policy.backoff_factor = 2.0;
+  policy.max_attempts = 2;
+  const RecoveryResult res = drive_recovery(fab, victim, policy, base);
+  EXPECT_EQ(res.climbs, 3u) << "two bounded climbs, then the unbounded one";
+  EXPECT_TRUE(res.fell_through) << "validator rejects everything";
+  EXPECT_DOUBLE_EQ(res.backoff_latency.to_seconds(), 30e-6)
+      << "10 us + 20 us of exponential backoff";
+  EXPECT_GT(res.repair_latency, Duration::zero());
+}
+
+// --- TrainingRun -----------------------------------------------------------
+
+TEST(TrainingRun, HealthyRunDeliversFullGoodput) {
+  RunConfig config;
+  config.iterations = 40;
+  config.mtbf_hours = 1.0e12;  // effectively no faults
+  TrainingRun run{config};
+  const RunReport report = run.run();
+  EXPECT_EQ(report.iterations_completed, config.iterations);
+  EXPECT_EQ(report.fault_events, 0u);
+  EXPECT_EQ(report.ring_size_final, report.ring_size_initial);
+  EXPECT_NEAR(report.goodput(), 1.0, 1e-12);
+  EXPECT_EQ(report.lost.total(), Duration::zero());
+}
+
+TEST(TrainingRun, ReportIsAPureFunctionOfTheConfig) {
+  RunConfig config;
+  config.iterations = 30;
+  config.mtbf_hours = 0.02;  // several faults inside the run
+  TrainingRun a{config};
+  TrainingRun b{config};
+  const RunReport ra = a.run();
+  const RunReport rb = b.run();
+  EXPECT_EQ(ra.iterations_completed, rb.iterations_completed);
+  EXPECT_EQ(ra.fault_events, rb.fault_events);
+  EXPECT_EQ(ra.faults_injected, rb.faults_injected);
+  EXPECT_EQ(ra.detections, rb.detections);
+  EXPECT_EQ(ra.rollbacks, rb.rollbacks);
+  EXPECT_EQ(ra.elastic_shrinks, rb.elastic_shrinks);
+  EXPECT_EQ(ra.recovered_by, rb.recovered_by);
+  EXPECT_EQ(ra.ring_size_final, rb.ring_size_final);
+  EXPECT_EQ(ra.wall_clock.to_seconds(), rb.wall_clock.to_seconds())
+      << "must be bit-identical";
+  EXPECT_EQ(ra.recover_seconds, rb.recover_seconds);
+}
+
+TEST(TrainingRun, HeartbeatDetectionChargesTickPlusLatency) {
+  RunConfig config;
+  config.iterations = 5;
+  // One scripted chip death at t=10.5 ms, during bucket compute (the first
+  // collective starts at 25 ms), with spares available for respare.
+  config.script = {{Duration::millis(10.5),
+                    {{.kind = fault::FaultKind::kChipDeath, .tile = {0, 5}}}}};
+  TrainingRun run{config};
+  const RunReport report = run.run();
+  ASSERT_EQ(report.detections, 1u);
+  EXPECT_EQ(report.mid_collective_faults, 0u) << "struck during compute";
+  // Heartbeats every 5 ms: the 10.5 ms strike is noticed at 15 ms, diagnosed
+  // 100 us later -> 4.6 ms of detection lag.
+  EXPECT_NEAR(report.lost.detection.to_seconds(), 4.6e-3, 1e-9);
+}
+
+TEST(TrainingRun, ChipDeathWithSparesResparesBothRingEdges) {
+  RunConfig config;
+  config.iterations = 5;
+  config.script = {{Duration::millis(10.5),
+                    {{.kind = fault::FaultKind::kChipDeath, .tile = {0, 5}}}}};
+  TrainingRun run{config};
+  const RunReport report = run.run();
+  EXPECT_EQ(report.iterations_completed, config.iterations);
+  EXPECT_EQ(report.ring_size_final, report.ring_size_initial)
+      << "a spare replaced the dead member";
+  EXPECT_EQ(report.recovered_by[routing::rung_index(routing::RepairRung::kRespare)],
+            2u)
+      << "in-edge and out-edge of the dead member";
+  EXPECT_EQ(report.elastic_shrinks, 0u);
+  EXPECT_EQ(report.rollbacks, 1u) << "the dead member's state is gone";
+  const auto& members = run.ring_members();
+  EXPECT_EQ(std::count(members.begin(), members.end(), GlobalTile{0, 5}), 0)
+      << "the dead chip left the ring";
+}
+
+// The acceptance scenario: a chip dies mid-collective with the spare pool
+// exhausted.  The run must take the elastic-shrink path — ring shrinks by
+// one, the schedule is rebuilt without the dead chip, and the job completes
+// degraded instead of migrating.
+TEST(TrainingRun, MidCollectiveDeathWithoutSparesShrinksElastically) {
+  RunConfig config;
+  config.iterations = 10;
+  config.ring_tiles_per_wafer = 32;  // every tile enrolled: no spare pool
+  // Bucket 0's collective starts at compute_per_bucket (25 ms); strike
+  // exactly then, inside the first comm window.
+  config.script = {{config.iteration.compute_per_bucket,
+                    {{.kind = fault::FaultKind::kChipDeath, .tile = {0, 0}}}}};
+  TrainingRun run{config};
+  const RunReport report = run.run();
+  EXPECT_EQ(report.mid_collective_faults, 1u);
+  EXPECT_GE(report.elastic_shrinks, 1u);
+  EXPECT_EQ(report.migrations, 0u) << "photonic policy never migrates";
+  EXPECT_EQ(report.ring_size_final, report.ring_size_initial - 1);
+  EXPECT_EQ(report.iterations_completed, config.iterations)
+      << "the run completes degraded";
+  EXPECT_GE(report.rollbacks, 1u);
+  EXPECT_LT(report.goodput(), 1.0);
+
+  // Regression: the rebuilt elastic schedule must not reference the dead
+  // chip, and no surviving ring circuit may ride quarantined hardware.
+  const auto tiles = run.fabric().wafer(0).tile_count();
+  const auto dead_id = static_cast<topo::TpuId>(0 * tiles + 0);
+  for (const coll::Phase& phase : run.schedule().phases) {
+    for (const coll::Transfer& t : phase.transfers) {
+      EXPECT_NE(t.src, dead_id);
+      EXPECT_NE(t.dst, dead_id);
+    }
+  }
+  const fault::HealthMonitor monitor{config.health};
+  for (const fabric::CircuitId id : run.ring_circuits()) {
+    EXPECT_EQ(monitor.diagnose(run.fabric(), run.active_faults(), id).health,
+              fault::CircuitHealth::kHealthy)
+        << "circuit " << id;
+  }
+  const auto& members = run.ring_members();
+  EXPECT_EQ(std::count(members.begin(), members.end(), GlobalTile{0, 0}), 0);
+}
+
+TEST(TrainingRun, PhotonicRecoveryBeatsElectricalMigration) {
+  RunConfig config;
+  config.iterations = 20;
+  config.script = {{Duration::millis(10.5),
+                    {{.kind = fault::FaultKind::kChipDeath, .tile = {0, 5}}}}};
+  RunConfig electrical = config;
+  electrical.policy = RunPolicy::kElectricalMigration;
+  const RunReport photonic = TrainingRun{config}.run();
+  const RunReport migrated = TrainingRun{electrical}.run();
+  EXPECT_EQ(migrated.migrations, 1u);
+  EXPECT_GT(photonic.goodput(), migrated.goodput())
+      << "us-scale respare vs a 600 s rack migration";
+}
+
+// --- run_resilience_sweep --------------------------------------------------
+
+ResilienceSweepConfig quick_sweep() {
+  ResilienceSweepConfig config;
+  config.base.iterations = 10;
+  config.mtbf_points = {0.01, 0.05};
+  config.trials = 2;
+  return config;
+}
+
+void expect_identical(const ResilienceSweepReport& a, const ResilienceSweepReport& b) {
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    const MtbfPointReport& pa = a.points[i];
+    const MtbfPointReport& pb = b.points[i];
+    EXPECT_EQ(pa.mtbf_hours, pb.mtbf_hours) << i;
+    EXPECT_EQ(pa.policy, pb.policy) << i;
+    EXPECT_EQ(pa.goodput_mean, pb.goodput_mean) << "point " << i << " must be bit-identical";
+    EXPECT_EQ(pa.goodput_min, pb.goodput_min) << i;
+    EXPECT_EQ(pa.goodput_max, pb.goodput_max) << i;
+    EXPECT_EQ(pa.lost_redo_seconds, pb.lost_redo_seconds) << i;
+    EXPECT_EQ(pa.lost_detection_seconds, pb.lost_detection_seconds) << i;
+    EXPECT_EQ(pa.lost_recovery_seconds, pb.lost_recovery_seconds) << i;
+    EXPECT_EQ(pa.recover_p50_seconds, pb.recover_p50_seconds) << i;
+    EXPECT_EQ(pa.recover_p99_seconds, pb.recover_p99_seconds) << i;
+    EXPECT_EQ(pa.fault_events, pb.fault_events) << i;
+    EXPECT_EQ(pa.detections, pb.detections) << i;
+    EXPECT_EQ(pa.rollbacks, pb.rollbacks) << i;
+    EXPECT_EQ(pa.elastic_shrinks, pb.elastic_shrinks) << i;
+    EXPECT_EQ(pa.migrations, pb.migrations) << i;
+    EXPECT_EQ(pa.recovered_by, pb.recovered_by) << i;
+  }
+}
+
+TEST(ResilienceSweep, ReportIdenticalAtAnyThreadCount) {
+  auto serial = quick_sweep();
+  serial.threads = 1;
+  auto wide = quick_sweep();
+  wide.threads = 8;
+  expect_identical(run_resilience_sweep(serial), run_resilience_sweep(wide));
+}
+
+// The acceptance criterion as stated: LIGHTPATH_THREADS=1 and =8 produce a
+// bit-identical report when the sweep is left to consult the environment.
+TEST(ResilienceSweep, ReportIdenticalUnderLightpathThreadsEnv) {
+  const auto env_sweep = [](const char* threads) {
+    ASSERT_EQ(setenv("LIGHTPATH_THREADS", threads, 1), 0);
+    EXPECT_EQ(util::env_threads(), std::strtoul(threads, nullptr, 10));
+  };
+  auto config = quick_sweep();
+  config.threads = 0;
+  env_sweep("1");
+  const auto narrow = run_resilience_sweep(config);
+  env_sweep("8");
+  const auto wide = run_resilience_sweep(config);
+  ASSERT_EQ(unsetenv("LIGHTPATH_THREADS"), 0);
+  expect_identical(narrow, wide);
+}
+
+TEST(ResilienceSweep, PairsPoliciesPerPointPhotonicFirst) {
+  const auto report = run_resilience_sweep(quick_sweep());
+  ASSERT_EQ(report.points.size(), 4u);
+  for (std::size_t i = 0; i < report.points.size(); i += 2) {
+    EXPECT_EQ(report.points[i].policy, RunPolicy::kPhotonicRepair);
+    EXPECT_EQ(report.points[i + 1].policy, RunPolicy::kElectricalMigration);
+    EXPECT_EQ(report.points[i].mtbf_hours, report.points[i + 1].mtbf_hours);
+  }
+}
+
+}  // namespace
+}  // namespace lp::runtime
