@@ -150,6 +150,9 @@ void FaultSet::apply_to(fabric::Fabric& fab, Decibel quarantine_threshold) {
   }
 
   applied_ = true;
+  // Quarantines and parked endpoints changed what is routable: any plan
+  // memoized before the faults landed must not replay.
+  fab.bump_epoch();
 }
 
 void FaultSet::revert(fabric::Fabric& fab) {
@@ -173,6 +176,8 @@ void FaultSet::revert(fabric::Fabric& fab) {
   mzi_restore_.clear();
   downed_links_.clear();
   applied_ = false;
+  // Restored capacity is just as plan-invalidating as lost capacity.
+  fab.bump_epoch();
 }
 
 // --- FaultInjector --------------------------------------------------------

@@ -19,7 +19,20 @@ std::size_t Fabric::add_fiber_link(GlobalTile a, GlobalTile b, std::uint32_t fib
 }
 
 void Fabric::set_fiber_link_down(std::size_t index, bool down) {
-  if (index < fiber_links_.size()) fiber_links_[index].down = down;
+  if (index < fiber_links_.size() && fiber_links_[index].down != down) {
+    fiber_links_[index].down = down;
+    bump_epoch();
+  }
+}
+
+std::uint64_t Fabric::ledger_digest() const {
+  std::uint64_t h = 0x6c69676874ULL;  // arbitrary non-zero start
+  for (const Wafer& w : wafers_) h = w.ledger_digest(h);
+  for (const FiberLink& link : fiber_links_) {
+    h = hash_mix(h, link.used);
+    h = hash_mix(h, link.down ? 1u : 0u);
+  }
+  return h;
 }
 
 Bandwidth Fabric::per_wavelength_rate() const {

@@ -115,6 +115,19 @@ class Fabric {
   [[nodiscard]] ReconfigController& reconfig() { return reconfig_; }
   [[nodiscard]] const ReconfigController& reconfig() const { return reconfig_; }
 
+  /// Monotonic configuration epoch.  Every event that can invalidate a
+  /// memoized plan — fault apply/revert, a committed repair rung, a spare
+  /// swap, a fiber bundle going down or up — bumps it; the plan cache keys
+  /// entries on the epoch so stale plans are never replayed silently.
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  void bump_epoch() { ++epoch_; }
+
+  /// Order-sensitive hash of the complete resource ledger: every wafer's
+  /// edge/tile occupancy plus every fiber link's usage and up/down state.
+  /// Deterministic planning is a pure function of this state, so digest
+  /// equality is sufficient for a memoized plan to replay exactly.
+  [[nodiscard]] std::uint64_t ledger_digest() const;
+
  private:
   struct FiberChoice {
     std::size_t link_index;
@@ -139,6 +152,7 @@ class Fabric {
   std::unordered_map<CircuitId, std::size_t> circuit_fiber_;  ///< circuit -> fiber link index
   ReconfigController reconfig_;
   CircuitId next_id_{1};
+  std::uint64_t epoch_{0};
 };
 
 }  // namespace lp::fabric

@@ -58,4 +58,11 @@ struct GlobalTile {
   friend constexpr auto operator<=>(const GlobalTile&, const GlobalTile&) = default;
 };
 
+/// One step of a running 64-bit hash (boost-style combine with a splitmix
+/// constant).  Backs the resource-ledger digests the plan cache revalidates
+/// against; order-sensitive, not cryptographic.
+[[nodiscard]] constexpr std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) {
+  return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+}
+
 }  // namespace lp::fabric

@@ -118,4 +118,13 @@ std::uint64_t Wafer::total_lanes_used() const {
   return std::accumulate(edge_used_.begin(), edge_used_.end(), std::uint64_t{0});
 }
 
+std::uint64_t Wafer::ledger_digest(std::uint64_t h) const {
+  for (std::uint32_t used : edge_used_) h = hash_mix(h, used);
+  for (const Tile& t : tiles_) {
+    h = hash_mix(h, t.tx_used());
+    h = hash_mix(h, t.rx_used());
+  }
+  return h;
+}
+
 }  // namespace lp::fabric

@@ -79,6 +79,12 @@ class Wafer {
   /// Total lanes in use across all edges (diagnostics / utilization).
   [[nodiscard]] std::uint64_t total_lanes_used() const;
 
+  /// Folds the wafer's entire consumable state — every directed edge's lane
+  /// occupancy plus every tile's Tx/Rx reservations — into the running hash
+  /// `h`.  Two wafers with equal digests present identical ledgers to any
+  /// deterministic planner; the plan cache uses this for revalidate-on-use.
+  [[nodiscard]] std::uint64_t ledger_digest(std::uint64_t h) const;
+
  private:
   /// Dense index of the directed edge (t, d); edges off the wafer get a
   /// slot too (never used) to keep indexing branch-free.

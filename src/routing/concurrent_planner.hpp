@@ -1,0 +1,64 @@
+// Concurrent multi-job circuit planning with deterministic commits.
+//
+// Many jobs sharing the fabric each bring their own demand set.  Planning
+// them strictly sequentially serializes the expensive part — route search —
+// behind one global lock.  This planner splits the work:
+//
+//   Phase A (parallel): each job orders its demands (plan_order) and
+//     precomputes routes against a frozen snapshot of the fabric, taken
+//     once before any job commits.  Route search is a pure function of the
+//     snapshot, so results are independent of thread count and schedule.
+//     Each precomputed route also takes a *speculative* reservation in a
+//     ShardedLaneLedger overlay; an overlay rejection predicts commit-time
+//     contention but decides nothing (diagnostic only — it is the single
+//     value excluded from the determinism contract).
+//   Phase B (sequential, ascending job index): each job commits against
+//     the authoritative Fabric ledger.  A precomputed route is re-validated
+//     by Fabric::connect_via itself (fast path: no route search); if lanes
+//     moved since the snapshot and connect_via fails — or no route was
+//     precomputed — the demand falls back to a fresh place_one.
+//
+// Because Phase B runs in ascending job order and every fallback re-plans
+// against the live ledger exactly as a sequential planner would, the
+// resulting reports are bit-identical at any thread count (the
+// `util/parallel` contract), while Phase A's Dijkstra searches — the
+// dominant cost — run fully in parallel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lightpath/fabric.hpp"
+#include "routing/planner.hpp"
+#include "routing/router.hpp"
+
+namespace lp::routing {
+
+struct ConcurrentPlanStats {
+  std::uint64_t jobs{0};
+  std::uint64_t demands{0};
+  /// Routes found against the snapshot in Phase A.
+  std::uint64_t routes_precomputed{0};
+  /// Demands committed via the precomputed route (no live route search).
+  std::uint64_t fast_path_commits{0};
+  /// Demands that needed a live place_one in Phase B.
+  std::uint64_t replans{0};
+  /// Speculative overlay reservations rejected in Phase A.  DIAGNOSTIC
+  /// ONLY: depends on Phase-A scheduling and is excluded from the
+  /// bit-identical-at-any-thread-count contract.
+  std::uint64_t overlay_rejected{0};
+};
+
+struct ConcurrentPlanResult {
+  /// One report per job, in job order.  Bit-identical at any thread count.
+  std::vector<PlanReport> reports;
+  ConcurrentPlanStats stats;
+};
+
+/// Plans every job's demand set against `fab`.  `threads == 0` defers to
+/// LIGHTPATH_THREADS / hardware concurrency (util::env_threads).
+[[nodiscard]] ConcurrentPlanResult plan_jobs(
+    fabric::Fabric& fab, const std::vector<std::vector<Demand>>& jobs,
+    const RouteOptions& options = {}, unsigned threads = 0);
+
+}  // namespace lp::routing

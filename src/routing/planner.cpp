@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <utility>
 
 namespace lp::routing {
 
@@ -10,6 +12,30 @@ using fabric::GlobalTile;
 
 CircuitPlanner::CircuitPlanner(Fabric& fab, RouteOptions options)
     : fabric_{fab}, options_{options} {}
+
+std::vector<Demand> plan_order(const Fabric& fab, std::vector<Demand> demands) {
+  // Longest demands first: long circuits are the hardest to route around
+  // existing reservations, so give them first pick of the lanes.  Ties are
+  // broken by ascending (src, dst, wavelengths) so the order — and hence
+  // the whole plan — is a pure function of the demand *set*, not of the
+  // order the caller happened to supply it in.
+  auto manhattan = [&](const Demand& d) {
+    if (d.src.wafer != d.dst.wafer) return std::numeric_limits<std::int32_t>::max();
+    const auto& w = fab.wafer(d.src.wafer);
+    const auto a = w.coord_of(d.src.tile);
+    const auto b = w.coord_of(d.dst.tile);
+    return std::abs(a.row - b.row) + std::abs(a.col - b.col);
+  };
+  std::vector<std::pair<std::int32_t, Demand>> keyed;
+  keyed.reserve(demands.size());
+  for (const Demand& d : demands) keyed.emplace_back(manhattan(d), d);
+  std::sort(keyed.begin(), keyed.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  for (std::size_t i = 0; i < keyed.size(); ++i) demands[i] = keyed[i].second;
+  return demands;
+}
 
 Result<fabric::CircuitId> CircuitPlanner::place_one(const Demand& demand) {
   if (demand.src.wafer != demand.dst.wafer) {
@@ -25,21 +51,7 @@ Result<fabric::CircuitId> CircuitPlanner::place_one(const Demand& demand) {
 
 PlanReport CircuitPlanner::place_all(const std::vector<Demand>& demands) {
   PlanReport report;
-
-  // Longest demands first: long circuits are the hardest to route around
-  // existing reservations, so give them first pick of the lanes.
-  std::vector<Demand> ordered = demands;
-  auto manhattan = [&](const Demand& d) {
-    if (d.src.wafer != d.dst.wafer) return std::numeric_limits<std::int32_t>::max();
-    const auto& w = fabric_.wafer(d.src.wafer);
-    const auto a = w.coord_of(d.src.tile);
-    const auto b = w.coord_of(d.dst.tile);
-    return std::abs(a.row - b.row) + std::abs(a.col - b.col);
-  };
-  std::stable_sort(ordered.begin(), ordered.end(), [&](const Demand& a, const Demand& b) {
-    return manhattan(a) > manhattan(b);
-  });
-
+  const std::vector<Demand> ordered = plan_order(fabric_, demands);
   for (const Demand& d : ordered) {
     auto placed = place_one(d);
     if (placed) {

@@ -21,7 +21,16 @@ struct Demand {
   fabric::GlobalTile src{};
   fabric::GlobalTile dst{};
   std::uint32_t wavelengths{1};
+  friend constexpr auto operator<=>(const Demand&, const Demand&) = default;
 };
+
+/// The planner's total placement order: Manhattan distance descending
+/// (cross-wafer counts as infinite), ties broken by ascending
+/// (src, dst, wavelengths).  A *total* order, so the resulting plan is
+/// invariant under permutation of the input demand set — which also makes
+/// demand sets safely comparable for plan-cache lookups.
+[[nodiscard]] std::vector<Demand> plan_order(const fabric::Fabric& fab,
+                                             std::vector<Demand> demands);
 
 struct PlacedCircuit {
   Demand demand{};
@@ -53,9 +62,11 @@ class CircuitPlanner {
   /// Tears down everything a report placed.
   void release_all(const PlanReport& report);
 
- private:
+  /// Places a single demand (the primitive place_all iterates).  Public so
+  /// the concurrent planner's sequential-commit fallback can reuse it.
   Result<fabric::CircuitId> place_one(const Demand& demand);
 
+ private:
   fabric::Fabric& fabric_;
   RouteOptions options_;
 };

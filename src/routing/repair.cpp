@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "routing/plan_cache.hpp"
+
 namespace lp::routing {
 
 using fabric::Fabric;
@@ -45,6 +47,9 @@ RepairPlan repair_with_spare(Fabric& fab, const RepairRequest& req,
   }
   plan.reconfig_latency = fab.reconfig().batch_latency(mzis);
   plan.complete = true;
+  // A committed spare swap changes which routes are live: invalidate
+  // memoized plans.
+  fab.bump_epoch();
   return plan;
 }
 
@@ -86,6 +91,8 @@ EscalationOutcome escalate_repair(Fabric& fab, const DegradedCircuit& victim,
     out.recovered = true;
     out.rung = r;
     out.circuits = std::move(circuits);
+    // A committed rung rewires the fabric; memoized plans must not survive.
+    fab.bump_epoch();
   };
 
   // Rung 1 — retune: only a laser/wavelength fault at the source, light path
@@ -121,9 +128,16 @@ EscalationOutcome escalate_repair(Fabric& fab, const DegradedCircuit& victim,
       attempt(RepairRung::kReroute);
       Result<fabric::CircuitId> placed = Err("unattempted");
       if (src.wafer == dst.wafer && s == 0) {
-        RouteOptions ro = options.route;
-        ro.lanes = lambdas;
-        const auto hops = find_route(fab.wafer(src.wafer), src.tile, dst.tile, ro);
+        // Route via the plan cache when one is wired in: repeated climbs
+        // over an unchanged ledger reuse the memoized search.
+        std::optional<std::vector<fabric::Direction>> hops;
+        if (options.cache != nullptr) {
+          hops = options.cache->route_for(Demand{src, dst, lambdas});
+        } else {
+          RouteOptions ro = options.route;
+          ro.lanes = lambdas;
+          hops = find_route(fab.wafer(src.wafer), src.tile, dst.tile, ro);
+        }
         placed = hops ? fab.connect_via(src, dst, *hops, lambdas)
                       : Result<fabric::CircuitId>{Err("no feasible route")};
       } else {

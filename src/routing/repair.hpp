@@ -20,6 +20,8 @@
 
 namespace lp::routing {
 
+class PlanCache;  // routing/plan_cache.hpp
+
 struct RepairRequest {
   /// The spare chip's fabric tile.
   fabric::GlobalTile spare{};
@@ -144,6 +146,11 @@ struct EscalationOptions {
   /// diagnosis).  A rejected replacement is torn down — full rollback — and
   /// the attempt counts as failed.  Null accepts everything.
   std::function<bool(const fabric::Fabric&, fabric::CircuitId)> validate;
+  /// Optional plan cache: rung 2's same-wafer route search goes through
+  /// PlanCache::route_for, so repeated climbs over an unchanged ledger
+  /// (e.g. drive_recovery's budget-exhausted retries) skip the Dijkstra.
+  /// Null plans fresh.  Not owned.
+  PlanCache* cache{nullptr};
 };
 
 struct EscalationOutcome {

@@ -1,0 +1,164 @@
+#include "routing/shard_ledger.hpp"
+
+#include <algorithm>
+
+namespace lp::routing {
+
+using fabric::Direction;
+using fabric::TileId;
+using fabric::WaferId;
+
+namespace {
+
+/// Row/col step for one hop; returns false if the step leaves the grid.
+bool step(std::int32_t rows, std::int32_t cols, std::int32_t& row, std::int32_t& col,
+          Direction d) {
+  switch (d) {
+    case Direction::kNorth: --row; break;
+    case Direction::kSouth: ++row; break;
+    case Direction::kEast: ++col; break;
+    case Direction::kWest: --col; break;
+  }
+  return row >= 0 && row < rows && col >= 0 && col < cols;
+}
+
+}  // namespace
+
+ShardedLaneLedger::ShardedLaneLedger(const fabric::Fabric& fab)
+    : rows_{fab.config().wafer.rows},
+      cols_{fab.config().wafer.cols},
+      tiles_per_wafer_{static_cast<std::uint32_t>(rows_ * cols_)} {
+  const std::uint32_t wafers = fab.wafer_count();
+  const std::size_t edges = static_cast<std::size_t>(wafers) * tiles_per_wafer_ * 4;
+  capacity_.assign(edges, 0);
+  used_.assign(edges, 0);
+  peak_.assign(edges, 0);
+  for (WaferId w = 0; w < wafers; ++w) {
+    const fabric::Wafer& wafer = fab.wafer(w);
+    for (TileId t = 0; t < tiles_per_wafer_; ++t) {
+      for (Direction d : fabric::kAllDirections) {
+        if (wafer.neighbor(t, d)) {
+          capacity_[edge_index(w, t, d)] = wafer.params().lanes_per_edge;
+        }
+      }
+    }
+  }
+  shards_.reserve(static_cast<std::size_t>(wafers) * 4);
+  for (std::size_t i = 0; i < static_cast<std::size_t>(wafers) * 4; ++i) {
+    shards_.push_back(std::make_unique<std::mutex>());
+  }
+}
+
+std::size_t ShardedLaneLedger::shard_of(WaferId wafer, TileId tile) const {
+  const auto row = static_cast<std::int32_t>(tile) / cols_;
+  const auto col = static_cast<std::int32_t>(tile) % cols_;
+  const std::size_t quadrant = (row >= rows_ / 2 ? 2u : 0u) + (col >= cols_ / 2 ? 1u : 0u);
+  return static_cast<std::size_t>(wafer) * 4 + quadrant;
+}
+
+std::size_t ShardedLaneLedger::edge_index(WaferId wafer, TileId tile, Direction d) const {
+  return (static_cast<std::size_t>(wafer) * tiles_per_wafer_ + tile) * 4 +
+         static_cast<std::size_t>(d);
+}
+
+bool ShardedLaneLedger::expand_path(WaferId wafer, TileId from,
+                                    std::span<const Direction> path,
+                                    std::vector<Hop>& out) const {
+  out.clear();
+  out.reserve(path.size());
+  std::int32_t row = static_cast<std::int32_t>(from) / cols_;
+  std::int32_t col = static_cast<std::int32_t>(from) % cols_;
+  for (Direction d : path) {
+    const auto tile = static_cast<TileId>(row * cols_ + col);
+    out.push_back(Hop{edge_index(wafer, tile, d), shard_of(wafer, tile)});
+    if (!step(rows_, cols_, row, col, d)) return false;
+  }
+  return true;
+}
+
+bool ShardedLaneLedger::try_reserve_path(WaferId wafer, TileId from,
+                                         std::span<const Direction> path,
+                                         std::uint32_t n) {
+  std::vector<Hop> hops;
+  if (!expand_path(wafer, from, path, hops)) return false;
+
+  // Phase 1: acquire every touched shard in ascending order (deadlock-free).
+  std::vector<std::size_t> locks;
+  locks.reserve(hops.size());
+  for (const Hop& h : hops) locks.push_back(h.shard);
+  std::sort(locks.begin(), locks.end());
+  locks.erase(std::unique(locks.begin(), locks.end()), locks.end());
+  for (std::size_t s : locks) shards_[s]->lock();
+
+  // Phase 2: commit as we check.  A path may cross the same edge twice, so
+  // checking first and committing later would under-count; committing
+  // immediately (with rollback) counts every occurrence.
+  bool ok = true;
+  std::size_t committed = 0;
+  for (; committed < hops.size(); ++committed) {
+    const std::size_t e = hops[committed].edge;
+    if (capacity_[e] - used_[e] < n || capacity_[e] < used_[e]) {
+      ok = false;
+      break;
+    }
+    used_[e] += n;
+    peak_[e] = std::max(peak_[e], used_[e]);
+  }
+  if (!ok) {
+    for (std::size_t i = 0; i < committed; ++i) used_[hops[i].edge] -= n;
+  }
+
+  for (auto it = locks.rbegin(); it != locks.rend(); ++it) shards_[*it]->unlock();
+  return ok;
+}
+
+void ShardedLaneLedger::release_path(WaferId wafer, TileId from,
+                                     std::span<const Direction> path, std::uint32_t n) {
+  std::vector<Hop> hops;
+  if (!expand_path(wafer, from, path, hops)) return;
+  std::vector<std::size_t> locks;
+  locks.reserve(hops.size());
+  for (const Hop& h : hops) locks.push_back(h.shard);
+  std::sort(locks.begin(), locks.end());
+  locks.erase(std::unique(locks.begin(), locks.end()), locks.end());
+  for (std::size_t s : locks) shards_[s]->lock();
+  for (const Hop& h : hops) used_[h.edge] -= std::min(n, used_[h.edge]);
+  for (auto it = locks.rbegin(); it != locks.rend(); ++it) shards_[*it]->unlock();
+}
+
+std::uint32_t ShardedLaneLedger::reserved(WaferId wafer, TileId tile, Direction d) const {
+  std::lock_guard<std::mutex> lock{*shards_[shard_of(wafer, tile)]};
+  return used_[edge_index(wafer, tile, d)];
+}
+
+std::uint32_t ShardedLaneLedger::capacity(WaferId wafer, TileId tile, Direction d) const {
+  return capacity_[edge_index(wafer, tile, d)];  // immutable; no lock needed
+}
+
+std::uint32_t ShardedLaneLedger::peak(WaferId wafer, TileId tile, Direction d) const {
+  std::lock_guard<std::mutex> lock{*shards_[shard_of(wafer, tile)]};
+  return peak_[edge_index(wafer, tile, d)];
+}
+
+std::uint64_t ShardedLaneLedger::total_reserved() const {
+  for (const auto& s : shards_) s->lock();
+  std::uint64_t total = 0;
+  for (std::uint32_t u : used_) total += u;
+  for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) (*it)->unlock();
+  return total;
+}
+
+bool ShardedLaneLedger::peaks_within_capacity() const {
+  for (const auto& s : shards_) s->lock();
+  bool ok = true;
+  for (std::size_t e = 0; e < peak_.size(); ++e) {
+    if (peak_[e] > capacity_[e]) {
+      ok = false;
+      break;
+    }
+  }
+  for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) (*it)->unlock();
+  return ok;
+}
+
+}  // namespace lp::routing

@@ -1,0 +1,93 @@
+// Sharded lane ledger: concurrent speculative lane reservation without a
+// global lock.
+//
+// The Wafer resource ledger is single-threaded by design; concurrent
+// planning needs a ledger many threads can reserve against at once.  This
+// shards lane occupancy by wafer *quadrant* (4 shards per wafer — routes
+// have strong spatial locality, so most reservations touch 1-2 shards) and
+// reserves along a path with ordered two-phase locking:
+//
+//   1. collect the shards the path touches, sort ascending (total order
+//      over locks => no deadlock),
+//   2. lock them all, commit hop by hop with rollback on shortage,
+//   3. unlock.
+//
+// Reservation is atomic: either every hop of the path is reserved or none
+// is.  Per-edge peak occupancy is tracked under the same locks, so tests
+// can assert the non-overlap invariant (peak never exceeds capacity) over
+// an entire multi-threaded run, not just its final state.
+//
+// The ledger is a planning overlay — it mirrors wafer geometry/capacity at
+// construction but does not touch the Fabric.  The concurrent planner uses
+// it for speculative Phase-A reservations; the authoritative commit still
+// goes through Fabric's own ledger (see concurrent_planner.hpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "lightpath/fabric.hpp"
+
+namespace lp::routing {
+
+class ShardedLaneLedger {
+ public:
+  explicit ShardedLaneLedger(const fabric::Fabric& fab);
+
+  /// Shard owning the directed edges that leave `tile`: wafer*4 + quadrant.
+  [[nodiscard]] std::size_t shard_of(fabric::WaferId wafer, fabric::TileId tile) const;
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+  /// Atomically reserve `n` lanes on every hop of `path` from `from`.
+  /// Returns false (and reserves nothing) on shortage or a malformed path.
+  /// Thread-safe; deadlock-free via ordered two-phase locking.
+  [[nodiscard]] bool try_reserve_path(fabric::WaferId wafer, fabric::TileId from,
+                                      std::span<const fabric::Direction> path,
+                                      std::uint32_t n);
+
+  /// Release `n` lanes along the path (clamped at zero per edge).
+  void release_path(fabric::WaferId wafer, fabric::TileId from,
+                    std::span<const fabric::Direction> path, std::uint32_t n);
+
+  [[nodiscard]] std::uint32_t reserved(fabric::WaferId wafer, fabric::TileId tile,
+                                       fabric::Direction d) const;
+  [[nodiscard]] std::uint32_t capacity(fabric::WaferId wafer, fabric::TileId tile,
+                                       fabric::Direction d) const;
+  [[nodiscard]] std::uint32_t peak(fabric::WaferId wafer, fabric::TileId tile,
+                                   fabric::Direction d) const;
+
+  /// Sum of all outstanding reservations (locks every shard; diagnostics).
+  [[nodiscard]] std::uint64_t total_reserved() const;
+
+  /// True iff no edge's peak occupancy ever exceeded its capacity — the
+  /// non-overlap invariant over the whole run.
+  [[nodiscard]] bool peaks_within_capacity() const;
+
+ private:
+  struct Hop {
+    std::size_t edge;   ///< flat index into used_/capacity_/peak_
+    std::size_t shard;  ///< shard owning that edge
+  };
+
+  [[nodiscard]] std::size_t edge_index(fabric::WaferId wafer, fabric::TileId tile,
+                                       fabric::Direction d) const;
+  /// Expands a path into per-hop edge/shard pairs; false if it leaves the
+  /// wafer.
+  [[nodiscard]] bool expand_path(fabric::WaferId wafer, fabric::TileId from,
+                                 std::span<const fabric::Direction> path,
+                                 std::vector<Hop>& out) const;
+
+  std::int32_t rows_{0};
+  std::int32_t cols_{0};
+  std::uint32_t tiles_per_wafer_{0};
+  std::vector<std::uint32_t> capacity_;  ///< immutable after construction
+  std::vector<std::uint32_t> used_;
+  std::vector<std::uint32_t> peak_;
+  /// unique_ptr because std::mutex is neither movable nor copyable.
+  std::vector<std::unique_ptr<std::mutex>> shards_;
+};
+
+}  // namespace lp::routing

@@ -47,7 +47,8 @@ TrainingRun::TrainingRun(const RunConfig& config)
     : config_{config},
       fab_{run_fabric_config()},
       injector_{fab_, config.model, config.seed},
-      monitor_{config.health} {
+      monitor_{config.health},
+      cache_{fab_} {
   // Fiber bundles between wafer 0's east column and wafer 1's west column,
   // one per row, generously sized so fibers are never the binding resource.
   const auto& w = fab_.wafer(0);
@@ -119,6 +120,7 @@ std::vector<fabric::GlobalTile> TrainingRun::free_tiles() const {
 routing::EscalationOptions TrainingRun::base_options() const {
   routing::EscalationOptions opts;
   opts.wavelengths = config_.wavelengths;
+  opts.cache = &cache_;
   opts.validate = [this](const fabric::Fabric& f, fabric::CircuitId id) {
     return monitor_.diagnose(f, cumulative_, id).health ==
            fault::CircuitHealth::kHealthy;

@@ -42,6 +42,7 @@
 #include "fault/fault.hpp"
 #include "fault/health.hpp"
 #include "lightpath/fabric.hpp"
+#include "routing/plan_cache.hpp"
 #include "routing/repair.hpp"
 #include "runtime/recovery.hpp"
 #include "util/units.hpp"
@@ -187,6 +188,11 @@ class TrainingRun {
   fabric::Fabric fab_;
   fault::FaultInjector injector_;
   fault::HealthMonitor monitor_;
+  /// Route memo for the repair ladder (wired into every EscalationOptions):
+  /// drive_recovery's budget-exhausted re-climbs leave the ledger exactly as
+  /// found, so the repeat search hits the cache.  mutable because
+  /// memoization is invisible to observable state (base_options is const).
+  mutable routing::PlanCache cache_;
   /// members_[e] -> members_[(e+1) % n] is circuits_[e].
   std::vector<fabric::GlobalTile> members_;
   std::vector<fabric::CircuitId> circuits_;

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "lightpath/fabric.hpp"
 #include "routing/decentralized.hpp"
 #include "routing/planner.hpp"
@@ -487,6 +489,62 @@ TEST(Escalate, ZeroBudgetMeansUnlimited) {
   EXPECT_TRUE(out.recovered) << "unlimited budget always reaches rung 5";
   EXPECT_EQ(out.rung, RepairRung::kRackMigration);
   EXPECT_FALSE(out.budget_exhausted);
+}
+
+TEST(Planner, PlaceAllIsInvariantUnderInputPermutation) {
+  // Regression: equal-Manhattan-distance demands used to keep their input
+  // order through the stable sort, so permuting the input permuted the
+  // placement order — and, under contention, which demands won the lanes.
+  // plan_order now breaks distance ties by ascending (src, dst,
+  // wavelengths), making the plan a function of the demand *set*.
+  fabric::WaferParams params;
+  params.rows = 4;
+  params.cols = 8;
+  params.lanes_per_edge = 2;  // scarce: placement order decides winners
+  FabricConfig config;
+  config.wafer = params;
+
+  // All demands span the same Manhattan distance (3), crossing paths.
+  const std::vector<Demand> demands{
+      {{0, 0}, {0, 3}, 2},  {{0, 8}, {0, 11}, 2}, {{0, 3}, {0, 0}, 2},
+      {{0, 11}, {0, 8}, 2}, {{0, 1}, {0, 25}, 2}, {{0, 25}, {0, 1}, 2},
+  };
+  std::vector<Demand> permuted = demands;
+  std::reverse(permuted.begin(), permuted.end());
+
+  Fabric fab_a{config};
+  Fabric fab_b{config};
+  const PlanReport a = CircuitPlanner{fab_a}.place_all(demands);
+  const PlanReport b = CircuitPlanner{fab_b}.place_all(permuted);
+
+  ASSERT_EQ(a.placed.size(), b.placed.size());
+  for (std::size_t i = 0; i < a.placed.size(); ++i) {
+    EXPECT_EQ(a.placed[i].demand, b.placed[i].demand) << "index " << i;
+  }
+  ASSERT_EQ(a.failed.size(), b.failed.size());
+  for (std::size_t i = 0; i < a.failed.size(); ++i) {
+    EXPECT_EQ(a.failed[i], b.failed[i]) << "index " << i;
+  }
+  EXPECT_EQ(a.mzis_programmed, b.mzis_programmed);
+  EXPECT_EQ(fab_a.ledger_digest(), fab_b.ledger_digest());
+}
+
+TEST(Planner, PlanOrderIsATotalOrder) {
+  const Fabric fab;
+  std::vector<Demand> demands{
+      {{0, 5}, {0, 6}, 1}, {{0, 2}, {0, 1}, 1}, {{0, 1}, {0, 2}, 2},
+      {{0, 1}, {0, 2}, 1}, {{0, 0}, {0, 7}, 1},
+  };
+  const auto ordered = plan_order(fab, demands);
+  // Longest first...
+  ASSERT_EQ(ordered.size(), 5u);
+  EXPECT_EQ(ordered[0].src.tile, 0u);
+  EXPECT_EQ(ordered[0].dst.tile, 7u);
+  // ...then distance-1 ties in ascending (src, dst, wavelengths) order.
+  EXPECT_EQ(ordered[1], (Demand{{0, 1}, {0, 2}, 1}));
+  EXPECT_EQ(ordered[2], (Demand{{0, 1}, {0, 2}, 2}));
+  EXPECT_EQ(ordered[3], (Demand{{0, 2}, {0, 1}, 1}));
+  EXPECT_EQ(ordered[4], (Demand{{0, 5}, {0, 6}, 1}));
 }
 
 TEST(Escalate, GenerousBudgetDoesNotChangeTheOutcome) {
