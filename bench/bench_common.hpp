@@ -15,8 +15,11 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <span>
 #include <string>
 #include <vector>
+
+#include "util/stats.hpp"
 
 namespace lp::bench {
 
@@ -53,6 +56,25 @@ inline std::string fmt_bytes(double bytes) {
     std::snprintf(buf, sizeof(buf), "%.1f GiB", bytes / (1024.0 * 1024.0 * 1024.0));
   }
   return buf;
+}
+
+/// The three latency quantiles every serving/SLO table reports, computed
+/// with util::percentile (linear interpolation) so bench tables and library
+/// reports agree bit-for-bit on the same sample set.
+struct Tail {
+  double p50{0.0};
+  double p99{0.0};
+  double p999{0.0};
+};
+
+inline Tail tail_of(std::span<const double> xs) {
+  return Tail{percentile(xs, 50.0), percentile(xs, 99.0), percentile(xs, 99.9)};
+}
+
+/// Formats a Tail of seconds as "p50 x / p99 y / p999 z".
+inline std::string fmt_tail(const Tail& t) {
+  return "p50 " + fmt_time(t.p50) + " / p99 " + fmt_time(t.p99) + " / p999 " +
+         fmt_time(t.p999);
 }
 
 /// Removes every occurrence of `flag` from argv (before google-benchmark

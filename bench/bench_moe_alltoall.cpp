@@ -59,6 +59,22 @@ void print_report() {
               bench::fmt_time(elec_u.total.to_seconds()).c_str(),
               bench::fmt_time(opt_u.total.to_seconds()).c_str(),
               elec_u.total / opt_u.total);
+
+  // Tail of per-round optical makespans across gating draws: gating skew
+  // makes rounds unequal, and a serving deployment provisions for the
+  // quantiles, not the mean (same tail helper as bench_serving).
+  std::vector<double> makespans;
+  makespans.reserve(64);
+  for (int i = 0; i < 64; ++i) {
+    const auto gated =
+        coll::moe_gating_demand(16, 512, 2, DataSize::kib(16), rng);
+    makespans.push_back(
+        fsim.run(coll::build_all_to_all_schedule(cluster, slice, gated,
+                                                 Interconnect::kOptical, params))
+            .total.to_seconds());
+  }
+  std::printf("gated optical round makespan over 64 draws (512 tok/chip): %s\n",
+              bench::fmt_tail(bench::tail_of(makespans)).c_str());
 }
 
 void BM_MoeDemandGen(benchmark::State& state) {

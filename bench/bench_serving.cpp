@@ -1,0 +1,156 @@
+// Open-loop inference serving: SLO attainment vs arrival rate under
+// circuit churn.
+//
+// The paper's motivating deployment (§1): a server-scale photonic fabric
+// carrying live inference traffic.  This bench sweeps offered load on the
+// 16x16-wafer serving configuration (16 replicas x 16 tiles, continuous
+// batching, MoE expert rotations and KV migrations through the host stack,
+// accelerated component faults repaired by the recovery ladder) and reports
+// p50/p99/p999 request latency plus the fraction of offered requests that
+// met the SLO — the attainment knee is the fabric's usable capacity.
+//
+// Headline targets: the simulator itself must sustain >= 1e6 simulated
+// requests/s of wall-clock throughput, and the sweep must be bit-identical
+// at 1, 2, and 8 worker threads (digest comparison).
+//
+// --json writes BENCH_serving.json for CI artifact upload.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "serve/serving_sim.hpp"
+
+namespace {
+
+using lp::Duration;
+using lp::serve::ServingParams;
+using lp::serve::ServingReport;
+using lp::serve::ServingSweepConfig;
+using lp::serve::ServingSweepReport;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// The paper-scale configuration: one 16x16 wafer, one replica per row.
+ServingParams wafer_params() {
+  ServingParams p;  // defaults are the 16x16 serving layout
+  p.horizon = Duration::millis(50.0);
+  p.drain = Duration::millis(20.0);
+  return p;
+}
+
+constexpr double kTargetSimRate = 1e6;  // simulated requests/s of wall clock
+
+void print_report(bool emit_json) {
+  lp::bench::header("Open-loop serving: SLO attainment vs arrival rate");
+  ServingSweepConfig cfg;
+  cfg.base = wafer_params();
+  cfg.arrival_rates = {0.25e6, 0.5e6, 1e6, 1.5e6, 2e6, 2.5e6, 3e6, 4e6};
+
+  const double t0 = now_seconds();
+  const ServingSweepReport sweep = run_serving_sweep(cfg);
+  const double wall = now_seconds() - t0;
+
+  std::uint64_t total_offered = 0;
+  std::printf("16 replicas x 16 tiles, SLO %.1f ms, horizon %.0f ms, "
+              "accelerated MTBF %.4g h\n\n",
+              cfg.base.slo.to_millis(), cfg.base.horizon.to_millis(),
+              cfg.base.mtbf_hours);
+  std::printf("  rate [req/s]  offered  attainment   latency tail"
+              "                              faults repairs\n");
+  for (const ServingReport& p : sweep.points) {
+    total_offered += p.offered;
+    const lp::bench::Tail tail = lp::bench::tail_of(p.latencies);
+    std::printf("  %12.3g  %7llu  %9.2f%%   %-42s %6llu %7llu\n",
+                p.arrival_rate, static_cast<unsigned long long>(p.offered),
+                100.0 * p.slo_attainment(), lp::bench::fmt_tail(tail).c_str(),
+                static_cast<unsigned long long>(p.fault_events),
+                static_cast<unsigned long long>(p.repairs));
+  }
+  lp::bench::line();
+  const double sim_rate = wall > 0.0 ? static_cast<double>(total_offered) / wall : 0.0;
+  std::printf("sweep wall clock  : %s for %llu simulated requests\n",
+              lp::bench::fmt_time(wall).c_str(),
+              static_cast<unsigned long long>(total_offered));
+  std::printf("simulator rate    : %.3e simulated requests/s\n", sim_rate);
+  std::printf("target >= %.0e requests/s: %s\n", kTargetSimRate,
+              sim_rate >= kTargetSimRate ? "PASS" : "FAIL");
+
+  // Thread-count bit-identity: the acceptance gate for the deterministic
+  // parallel sweep.  A smaller sweep keeps this check quick.
+  ServingSweepConfig small = cfg;
+  small.base.horizon = Duration::millis(10.0);
+  small.arrival_rates = {0.5e6, 2e6};
+  std::vector<std::uint64_t> digests;
+  bool identical = true;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    small.threads = threads;
+    const ServingSweepReport rep = run_serving_sweep(small);
+    std::uint64_t d = 0;
+    for (const ServingReport& p : rep.points) d ^= p.digest;
+    digests.push_back(d);
+    identical = identical && d == digests.front();
+  }
+  std::printf("bit-identical at 1/2/8 threads: %s\n", identical ? "PASS" : "FAIL");
+
+  if (emit_json) {
+    lp::bench::JsonWriter json;
+    json.begin_object();
+    json.key("slo_ms").value(cfg.base.slo.to_millis());
+    json.key("horizon_ms").value(cfg.base.horizon.to_millis());
+    json.key("mtbf_hours").value(cfg.base.mtbf_hours);
+    json.key("points").begin_array();
+    for (const ServingReport& p : sweep.points) {
+      json.begin_object();
+      json.key("arrival_rate").value(p.arrival_rate);
+      json.key("offered").value(p.offered);
+      json.key("completed").value(p.completed);
+      json.key("abandoned").value(p.abandoned);
+      json.key("slo_attainment").value(p.slo_attainment());
+      json.key("p50_ms").value(p.p50.to_millis());
+      json.key("p99_ms").value(p.p99.to_millis());
+      json.key("p999_ms").value(p.p999.to_millis());
+      json.key("fault_events").value(p.fault_events);
+      json.key("repairs").value(p.repairs);
+      json.key("repair_failures").value(p.repair_failures);
+      json.key("churn_flushes").value(p.churn_flushes);
+      json.key("host_hit_rate").value(p.host.hit_rate());
+      json.key("digest").value(p.digest);
+      json.end_object();
+    }
+    json.end_array();
+    json.key("wall_seconds").value(wall);
+    json.key("simulated_requests").value(total_offered);
+    json.key("sim_requests_per_s").value(sim_rate);
+    json.key("target_requests_per_s").value(kTargetSimRate);
+    json.key("thread_bit_identical").value(identical);
+    json.key("pass").value(sim_rate >= kTargetSimRate && identical);
+    json.end_object();
+    if (json.write_file("BENCH_serving.json")) {
+      std::printf("\nwrote BENCH_serving.json\n");
+    }
+  }
+}
+
+void BM_ServingPoint(benchmark::State& state) {
+  ServingParams p = wafer_params();
+  p.horizon = Duration::millis(5.0);
+  p.drain = Duration::millis(5.0);
+  p.traffic.arrival_rate = static_cast<double>(state.range(0));
+  std::uint64_t offered = 0;
+  for (auto _ : state) {
+    const ServingReport r = lp::serve::run_serving(p);
+    offered += r.offered;
+    benchmark::DoNotOptimize(r.digest);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(offered));
+}
+BENCHMARK(BM_ServingPoint)->Arg(500000)->Arg(2000000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+LP_BENCH_MAIN_JSON(print_report)

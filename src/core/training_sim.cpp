@@ -33,6 +33,13 @@ IterationTimeline overlap_buckets(const TrainingConfig& config,
   return timeline;
 }
 
+bool IterationTimeline::collective_in_flight(Duration offset) const {
+  for (const BucketTiming& b : buckets) {
+    if (b.comm_start <= offset && offset < b.comm_end) return true;
+  }
+  return false;
+}
+
 IterationReport simulate_training_iteration(const topo::Slice& slice,
                                             const topo::Shape& rack_shape,
                                             const TrainingConfig& config,

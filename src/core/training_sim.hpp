@@ -57,6 +57,13 @@ struct BucketTiming {
 struct IterationTimeline {
   std::vector<BucketTiming> buckets;
   IterationReport report;
+
+  /// Whether any bucket's collective was on the wire at `offset` from the
+  /// iteration's start (comm_start inclusive, comm_end exclusive).  The
+  /// shared query for every event-driven caller that must classify a fault
+  /// strike as mid-collective — keep the boundary convention here rather
+  /// than in per-caller scan loops.
+  [[nodiscard]] bool collective_in_flight(Duration offset) const;
 };
 
 /// The bucket-overlap engine behind simulate_training_iteration, factored

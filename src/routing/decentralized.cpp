@@ -1,9 +1,10 @@
 #include "routing/decentralized.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 
-#include "sim/event_queue.hpp"
+#include "sim/event_engine.hpp"
 
 namespace lp::routing {
 
@@ -61,7 +62,7 @@ DecentralizedReport run_decentralized_setup(const fabric::Fabric& fab,
   wafers.reserve(fab.wafer_count());
   for (fabric::WaferId w = 0; w < fab.wafer_count(); ++w) wafers.push_back(fab.wafer(w));
 
-  sim::EventQueue queue;
+  sim::EventEngine queue;
   Rng rng{params.seed};
   std::vector<DemandState> states;
   states.reserve(demands.size());

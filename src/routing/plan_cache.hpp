@@ -9,7 +9,7 @@
 // *hop sequences* a fresh plan produced and replays them through
 // Fabric::connect_via / Fabric::connect, skipping route search entirely.
 //
-// Correctness contract (see DESIGN.md §9): fresh planning is a
+// Correctness contract (see DESIGN.md §8): fresh planning is a
 // deterministic pure function of (demand multiset, resource ledger).
 // A memoized plan is replayed only when ALL of
 //   1. the fabric epoch matches (no fault apply/revert, repair rung,

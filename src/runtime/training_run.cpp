@@ -304,13 +304,7 @@ RunReport TrainingRun::run() {
 
     // A fault strikes inside this iteration.
     const Duration offset = t_f - clock;
-    bool mid_collective = false;
-    for (const core::BucketTiming& b : timeline.buckets) {
-      if (b.comm_start <= offset && offset < b.comm_end) {
-        mid_collective = true;
-        break;
-      }
-    }
+    const bool mid_collective = timeline.collective_in_flight(offset);
     std::vector<fault::Fault> faults;
     if (scripted) {
       faults = config_.script[script_idx].faults;

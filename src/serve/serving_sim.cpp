@@ -1,0 +1,442 @@
+#include "serve/serving_sim.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "routing/plan_cache.hpp"
+#include "sim/event_engine.hpp"
+#include "util/parallel.hpp"
+#include "util/stats.hpp"
+
+namespace lp::serve {
+
+namespace {
+
+using fabric::CircuitId;
+using fabric::GlobalTile;
+
+/// One request resident in a replica's queue or batch.
+struct Request {
+  double arrival{0.0};  ///< seconds
+  std::uint32_t prefill_tokens{1};
+  std::uint32_t prefill_left{1};
+  std::uint32_t decode_left{1};
+  std::size_t prefill_replica{0};
+  bool migrate{false};
+  /// KV-migration latency charged at admission, folded into the request's
+  /// completion latency (the decode stream starts that much later).
+  double extra{0.0};
+};
+
+struct Replica {
+  std::vector<GlobalTile> tiles;
+  /// Intra-replica backbone ring (weights/activations plane).  These are
+  /// the circuits the health monitor diagnoses and the repair ladder
+  /// rebuilds; HostStack traffic rides its own cached circuits.
+  std::vector<CircuitId> backbone;
+  std::deque<Request> queue;
+  std::vector<Request> batch;
+  double paused_until{0.0};
+  std::uint32_t rotation{0};
+  bool round_scheduled{false};
+  bool online{true};
+};
+
+class ServingSim {
+ public:
+  explicit ServingSim(const ServingParams& params)
+      : params_{params},
+        fab_{params.fabric},
+        host_{fab_, params.host},
+        cache_{fab_},
+        monitor_{params.health},
+        injector_{fab_, params.fault_model, util::task_seed(params.seed, 0)},
+        gen_{params.traffic, params.replicas, params.seed},
+        fault_rng_{util::task_seed(params.seed, 3)} {}
+
+  ServingReport run();
+
+ private:
+  [[nodiscard]] double now_s() const { return engine_.now().to_seconds(); }
+
+  void setup_replicas();
+  void schedule_first_events();
+
+  void arrival();
+  void round(std::size_t r);
+  void fault_event();
+  void detection();
+
+  void kick(std::size_t r, double at);
+  void admit(std::size_t r);
+  void complete(const Request& q, double done_t);
+  void take_offline(std::size_t r);
+  [[nodiscard]] std::size_t resolve_online(std::size_t preferred) const;
+  [[nodiscard]] routing::EscalationOptions base_options();
+
+  ServingParams params_;
+  fabric::Fabric fab_;
+  core::HostStack host_;
+  routing::PlanCache cache_;
+  fault::HealthMonitor monitor_;
+  fault::FaultInjector injector_;
+  /// Queries only (monitor + validate); per-event sets below carry the
+  /// ledger side effects so they could be reverted individually.
+  fault::FaultSet cumulative_;
+  std::vector<fault::FaultSet> applied_;
+  RequestGenerator gen_;
+  Rng fault_rng_;
+  sim::EventEngine engine_;
+
+  std::vector<Replica> replicas_;
+  std::vector<double> latencies_;
+  ServingReport report_;
+};
+
+void ServingSim::setup_replicas() {
+  const auto& wafer = fab_.wafer(0);
+  const auto tiles = static_cast<std::int32_t>(params_.tiles_per_replica);
+  replicas_.resize(params_.replicas);
+  for (std::size_t r = 0; r < replicas_.size(); ++r) {
+    Replica& rep = replicas_[r];
+    rep.tiles.reserve(params_.tiles_per_replica);
+    for (std::int32_t t = 0; t < tiles; ++t) {
+      rep.tiles.push_back(GlobalTile{
+          0, wafer.tile_at({static_cast<std::int32_t>(r), t})});
+    }
+    // Ring circuits t -> t+1 (the wrap link routes back across the row).
+    for (std::size_t t = 0; t < rep.tiles.size(); ++t) {
+      const auto next = (t + 1) % rep.tiles.size();
+      auto c = fab_.connect(rep.tiles[t], rep.tiles[next],
+                            params_.backbone_wavelengths);
+      if (c.ok()) rep.backbone.push_back(c.value());
+    }
+  }
+}
+
+void ServingSim::schedule_first_events() {
+  const double horizon = params_.horizon.to_seconds();
+  const double first = gen_.next_interarrival().to_seconds();
+  if (first <= horizon) {
+    engine_.schedule_at(TimePoint::at_seconds(first), [this] { arrival(); });
+  }
+  const double chips =
+      static_cast<double>(params_.replicas) * params_.tiles_per_replica;
+  if (params_.mtbf_hours > 0.0 && chips > 0.0) {
+    const double rate = chips / (params_.mtbf_hours * 3600.0);
+    const double t_f = fault_rng_.exponential(rate);
+    // Strikes are confined to the arrival window so the drain tail measures
+    // recovery, not fresh damage.
+    if (t_f < horizon) {
+      engine_.schedule_at(TimePoint::at_seconds(t_f), [this] { fault_event(); });
+    }
+  }
+}
+
+std::size_t ServingSim::resolve_online(std::size_t preferred) const {
+  for (std::size_t k = 0; k < replicas_.size(); ++k) {
+    const std::size_t r = (preferred + k) % replicas_.size();
+    if (replicas_[r].online) return r;
+  }
+  return replicas_.size();
+}
+
+void ServingSim::kick(std::size_t r, double at) {
+  Replica& rep = replicas_[r];
+  if (rep.round_scheduled || !rep.online) return;
+  rep.round_scheduled = true;
+  engine_.schedule_at(TimePoint::at_seconds(at), [this, r] { round(r); });
+}
+
+void ServingSim::arrival() {
+  const double now = now_s();
+  ++report_.offered;
+  const RequestSpec spec = gen_.next_request();
+  const std::size_t r = resolve_online(spec.replica);
+  if (r == replicas_.size()) {
+    ++report_.abandoned;  // every replica lost: offered load goes unserved
+  } else {
+    Request q;
+    q.arrival = now;
+    q.prefill_tokens = spec.prefill_tokens;
+    q.prefill_left = spec.prefill_tokens;
+    q.decode_left = spec.decode_tokens;
+    const std::size_t pr = resolve_online(spec.prefill_replica);
+    // A prefill host that died re-runs prefill locally: no migration flow.
+    q.migrate = spec.migrate && pr < replicas_.size() && pr != r;
+    q.prefill_replica = q.migrate ? pr : r;
+    Replica& rep = replicas_[r];
+    rep.queue.push_back(q);
+    kick(r, std::max(now, rep.paused_until));
+  }
+  const double next = now + gen_.next_interarrival().to_seconds();
+  if (next <= params_.horizon.to_seconds()) {
+    engine_.schedule_at(TimePoint::at_seconds(next), [this] { arrival(); });
+  }
+}
+
+void ServingSim::admit(std::size_t r) {
+  Replica& rep = replicas_[r];
+  while (rep.batch.size() < params_.batch_capacity && !rep.queue.empty()) {
+    Request q = rep.queue.front();
+    rep.queue.pop_front();
+    if (q.migrate) {
+      // Pull the KV cache from the prefill host before decoding: one bulk
+      // transfer between the two replicas' lead tiles through the host
+      // stack (a miss here pays reconfiguration r, and under churn it is a
+      // miss — that is the point).
+      ++report_.kv_migrations;
+      const DataSize bytes =
+          params_.traffic.kv_bytes_per_token *
+          static_cast<double>(q.prefill_tokens);
+      const auto sent = host_.send(replicas_[q.prefill_replica].tiles[0],
+                                   rep.tiles[0], bytes);
+      if (sent.ok()) {
+        q.extra = sent.value().to_seconds();
+        q.prefill_left = 0;  // prefill already ran remotely
+      } else {
+        ++report_.send_failures;  // fabric too broken to migrate: re-prefill
+      }
+    }
+    rep.batch.push_back(q);
+  }
+}
+
+void ServingSim::complete(const Request& q, double done_t) {
+  const double latency = done_t - q.arrival + q.extra;
+  ++report_.completed;
+  if (latency <= params_.slo.to_seconds()) ++report_.met_slo;
+  latencies_.push_back(latency);
+  report_.digest =
+      fabric::hash_mix(report_.digest, std::bit_cast<std::uint64_t>(latency));
+}
+
+void ServingSim::round(std::size_t r) {
+  Replica& rep = replicas_[r];
+  rep.round_scheduled = false;
+  if (!rep.online) return;
+  const double now = now_s();
+  if (now < rep.paused_until) {
+    kick(r, rep.paused_until);  // repair ladder holds the replica
+    return;
+  }
+  admit(r);
+  if (rep.batch.empty()) return;  // idle; the next arrival re-kicks
+
+  ++report_.rounds;
+  const double active = static_cast<double>(rep.batch.size());
+
+  // MoE expert all-to-all: every tile exchanges its shard with a rotating
+  // partner; the round waits for the slowest exchange.  Steady state hits
+  // the circuit cache; after fault-driven flushes each send re-plans and
+  // pays r, which is how churn reaches the latency tail.
+  double comm = 0.0;
+  const DataSize per_tile =
+      params_.traffic.expert_bytes_per_token *
+      (active / static_cast<double>(rep.tiles.size()));
+  const std::uint32_t offset =
+      1 + rep.rotation % std::max(params_.expert_peers, 1u);
+  for (std::size_t t = 0; t < rep.tiles.size(); ++t) {
+    const std::size_t peer = (t + offset) % rep.tiles.size();
+    ++report_.expert_sends;
+    const auto sent = host_.send(rep.tiles[t], rep.tiles[peer], per_tile);
+    if (sent.ok()) {
+      comm = std::max(comm, sent.value().to_seconds());
+    } else {
+      ++report_.send_failures;
+      comm = std::max(comm, fab_.reconfig().settle_latency().to_seconds());
+    }
+  }
+  ++rep.rotation;
+
+  const double round_dur = params_.round_base.to_seconds() +
+                           params_.round_per_seq.to_seconds() * active + comm;
+  const double done_t = now + round_dur;
+
+  // Advance every sequence one round; retire finished ones in batch order.
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < rep.batch.size(); ++i) {
+    Request& q = rep.batch[i];
+    if (q.prefill_left > 0) {
+      q.prefill_left -= std::min(params_.prefill_chunk, q.prefill_left);
+    } else if (q.decode_left > 0) {
+      --q.decode_left;
+    }
+    if (q.prefill_left == 0 && q.decode_left == 0) {
+      complete(q, done_t);
+    } else {
+      rep.batch[keep++] = q;
+    }
+  }
+  rep.batch.resize(keep);
+
+  if (!rep.batch.empty() || !rep.queue.empty()) kick(r, done_t);
+}
+
+void ServingSim::fault_event() {
+  const double now = now_s();
+  ++report_.fault_events;
+  const auto faults = injector_.sample(fault_rng_);
+  fault::FaultSet set;
+  set.add_all(faults);
+  set.apply_to(fab_, params_.fault_model.quarantine_threshold);
+  applied_.push_back(std::move(set));
+  cumulative_.add_all(faults);
+
+  // Heartbeat detection: noticed at the first tick at or after the strike,
+  // diagnosed detection_latency later (same contract as runtime/training_run).
+  const double hb = params_.recovery.heartbeat_interval.to_seconds();
+  const double detect =
+      std::ceil(now / hb) * hb + params_.recovery.detection_latency.to_seconds();
+  engine_.schedule_at(TimePoint::at_seconds(detect), [this] { detection(); });
+
+  const double chips =
+      static_cast<double>(params_.replicas) * params_.tiles_per_replica;
+  const double rate = chips / (params_.mtbf_hours * 3600.0);
+  const double next = now + fault_rng_.exponential(rate);
+  if (next < params_.horizon.to_seconds()) {
+    engine_.schedule_at(TimePoint::at_seconds(next), [this] { fault_event(); });
+  }
+}
+
+routing::EscalationOptions ServingSim::base_options() {
+  routing::EscalationOptions opts;
+  opts.wavelengths = params_.backbone_wavelengths;
+  opts.cache = &cache_;
+  opts.validate = [this](const fabric::Fabric& f, CircuitId id) {
+    return monitor_.diagnose(f, cumulative_, id).health ==
+           fault::CircuitHealth::kHealthy;
+  };
+  return opts;
+}
+
+void ServingSim::take_offline(std::size_t r) {
+  Replica& rep = replicas_[r];
+  rep.online = false;
+  ++report_.replicas_offline;
+  report_.abandoned += rep.batch.size() + rep.queue.size();
+  rep.batch.clear();
+  rep.queue.clear();
+  for (const CircuitId id : rep.backbone) {
+    if (fab_.circuit(id) != nullptr) fab_.disconnect(id);
+  }
+  rep.backbone.clear();
+}
+
+void ServingSim::detection() {
+  const double now = now_s();
+  ++report_.detections;
+  // Quarantined lanes invalidate cached routes: drop every host circuit so
+  // subsequent sends re-plan around the damage (the churn the bench sweeps).
+  host_.flush();
+  ++report_.churn_flushes;
+
+  for (std::size_t r = 0; r < replicas_.size(); ++r) {
+    Replica& rep = replicas_[r];
+    if (!rep.online) continue;
+    double pause = 0.0;
+    bool lost = false;
+    for (CircuitId& id : rep.backbone) {
+      const auto diag = monitor_.diagnose(fab_, cumulative_, id);
+      if (diag.health == fault::CircuitHealth::kHealthy) continue;
+      const auto res = runtime::drive_recovery(fab_, fault::to_degraded(diag),
+                                               params_.recovery, base_options());
+      pause = std::max(pause, res.total().to_seconds());
+      if (res.recovered && !res.circuits.empty()) {
+        id = res.circuits.front();
+        ++report_.repairs;
+      } else {
+        // Out of optical ideas (dead endpoint, no spare tiles on a full
+        // wafer): the ring is broken and the replica leaves the pool.
+        ++report_.repair_failures;
+        lost = true;
+        break;
+      }
+    }
+    if (lost) {
+      take_offline(r);
+      continue;
+    }
+    if (pause > 0.0) {
+      rep.paused_until = std::max(rep.paused_until, now + pause);
+      report_.stall_time += Duration::seconds(pause);
+    }
+  }
+}
+
+ServingReport ServingSim::run() {
+  report_.arrival_rate = params_.traffic.arrival_rate;
+  setup_replicas();
+  schedule_first_events();
+  engine_.run_until(TimePoint::at_seconds(params_.horizon.to_seconds() +
+                                          params_.drain.to_seconds()));
+
+  for (const Replica& rep : replicas_) {
+    report_.in_flight_at_end += rep.batch.size() + rep.queue.size();
+  }
+  report_.p50 = Duration::seconds(lp::percentile(latencies_, 50.0));
+  report_.p99 = Duration::seconds(lp::percentile(latencies_, 99.0));
+  report_.p999 = Duration::seconds(lp::percentile(latencies_, 99.9));
+  if (!latencies_.empty()) {
+    report_.max_latency = Duration::seconds(
+        *std::max_element(latencies_.begin(), latencies_.end()));
+  } else {
+    report_.p50 = report_.p99 = report_.p999 = Duration::zero();
+  }
+  report_.host = host_.stats();
+
+  std::uint64_t d = report_.digest;
+  d = fabric::hash_mix(d, report_.offered);
+  d = fabric::hash_mix(d, report_.completed);
+  d = fabric::hash_mix(d, report_.met_slo);
+  d = fabric::hash_mix(d, report_.abandoned);
+  d = fabric::hash_mix(d, report_.fault_events);
+  d = fabric::hash_mix(d, report_.repairs);
+  d = fabric::hash_mix(d, report_.repair_failures);
+  d = fabric::hash_mix(d, fab_.ledger_digest());
+  report_.digest = d;
+  report_.latencies = std::move(latencies_);
+  return report_;
+}
+
+}  // namespace
+
+ServingReport run_serving(const ServingParams& params) {
+  ServingParams p = params;
+  const auto rows = static_cast<std::int32_t>(p.replicas);
+  const auto cols = static_cast<std::int32_t>(p.tiles_per_replica);
+  if (p.fabric.wafer.rows * p.fabric.wafer.cols !=
+      rows * cols) {
+    p.fabric.wafer.rows = rows;
+    p.fabric.wafer.cols = cols;
+  }
+  ServingSim sim{p};
+  return sim.run();
+}
+
+ServingSweepReport run_serving_sweep(const ServingSweepConfig& config) {
+  ServingSweepReport out;
+  out.points.resize(config.arrival_rates.size());
+  const unsigned threads =
+      config.threads != 0 ? config.threads : util::env_threads();
+  std::optional<util::ThreadPool> local;
+  util::ThreadPool& pool =
+      threads == 0 ? util::ThreadPool::shared() : local.emplace(threads);
+  pool.run(config.arrival_rates.size(), [&](std::size_t i, unsigned) {
+    ServingParams p = config.base;
+    p.traffic.arrival_rate = config.arrival_rates[i];
+    // Per-point seed via task_seed: the sweep is bit-identical at any
+    // thread count because each point is self-contained and results land
+    // by index.
+    p.seed = util::task_seed(config.base.seed, i);
+    out.points[i] = run_serving(p);
+  });
+  return out;
+}
+
+}  // namespace lp::serve

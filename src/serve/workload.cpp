@@ -1,0 +1,55 @@
+#include "serve/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/parallel.hpp"
+
+namespace lp::serve {
+
+namespace {
+
+/// Geometric-flavored token count: 1 + floor(Exp(1/mean)), clamped to
+/// [1, max].  Matches the long-tailed prompt/generation length mix of real
+/// serving traces closely enough for capacity math.
+std::uint32_t sample_tokens(Rng& rng, double mean, std::uint32_t max) {
+  if (max <= 1 || mean <= 0.0) return 1;
+  const double draw = rng.exponential(1.0 / std::max(mean, 1e-9));
+  const auto extra = static_cast<std::uint32_t>(
+      std::min(draw, static_cast<double>(max - 1)));
+  return std::min(1u + extra, max);
+}
+
+}  // namespace
+
+RequestGenerator::RequestGenerator(const TrafficParams& params,
+                                   std::uint32_t replicas, std::uint64_t seed)
+    : params_{params},
+      replicas_{std::max(replicas, 1u)},
+      arrivals_{util::task_seed(seed, 1)},
+      payload_{util::task_seed(seed, 2)} {}
+
+Duration RequestGenerator::next_interarrival() {
+  const double rate = std::max(params_.arrival_rate, 1e-9);
+  return Duration::seconds(arrivals_.exponential(rate));
+}
+
+RequestSpec RequestGenerator::next_request() {
+  RequestSpec spec;
+  spec.prefill_tokens = sample_tokens(payload_, params_.prefill_tokens_mean,
+                                      params_.prefill_tokens_max);
+  spec.decode_tokens = sample_tokens(payload_, params_.decode_tokens_mean,
+                                     params_.decode_tokens_max);
+  spec.replica = static_cast<std::uint32_t>(payload_.uniform_index(replicas_));
+  spec.migrate = replicas_ > 1 &&
+                 payload_.uniform() < params_.kv_migration_fraction;
+  spec.prefill_replica =
+      spec.migrate
+          ? (spec.replica + 1 +
+             static_cast<std::uint32_t>(payload_.uniform_index(replicas_ - 1))) %
+                replicas_
+          : spec.replica;
+  return spec;
+}
+
+}  // namespace lp::serve

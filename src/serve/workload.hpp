@@ -1,0 +1,81 @@
+// Open-loop inference-serving workload.
+//
+// The paper's motivating deployment (§1, §2) is a server-scale inference
+// cluster: millions of user requests per second fanned across replicas of a
+// large model, each request a prefill burst followed by a decode stream.
+// This module samples that offered load as an open-loop Poisson process —
+// arrivals do not slow down when the system saturates, which is exactly the
+// regime where tail latency and SLO attainment become interesting.
+//
+// Determinism contract: a RequestGenerator is a pure function of
+// (params, replicas, seed).  Interarrival times and request payloads come
+// from two decoupled Rng streams (forked via util::task_seed) so changing
+// the arrival rate does not perturb the token-length or routing draws of
+// the requests themselves.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace lp::serve {
+
+struct TrafficParams {
+  /// Aggregate offered load across the whole server, requests per second.
+  double arrival_rate{1.0e6};
+
+  /// Prefill (prompt) length: geometric-ish with this mean, clamped to
+  /// [1, prefill_tokens_max].
+  double prefill_tokens_mean{64.0};
+  std::uint32_t prefill_tokens_max{256};
+
+  /// Decode (generated) length: same distribution family.
+  double decode_tokens_mean{8.0};
+  std::uint32_t decode_tokens_max{32};
+
+  /// KV-cache footprint per prompt token; a migrated request moves
+  /// prefill_tokens x this across the fabric before decoding starts.
+  DataSize kv_bytes_per_token{DataSize::kib(16.0)};
+
+  /// Fraction of requests whose prefill ran on a different replica
+  /// (disaggregated prefill), requiring a KV-cache migration flow.
+  double kv_migration_fraction{0.02};
+
+  /// MoE expert-exchange payload per active token per decode round,
+  /// spread across the replica's tiles as an all-to-all rotation.
+  DataSize expert_bytes_per_token{DataSize::kib(1.0)};
+};
+
+/// One sampled request, before the simulator maps it onto live replicas.
+struct RequestSpec {
+  std::uint32_t prefill_tokens{1};
+  std::uint32_t decode_tokens{1};
+  /// Home (decode) replica draw, uniform over all replicas.
+  std::uint32_t replica{0};
+  /// Where prefill ran; differs from `replica` iff `migrate`.
+  std::uint32_t prefill_replica{0};
+  bool migrate{false};
+};
+
+class RequestGenerator {
+ public:
+  RequestGenerator(const TrafficParams& params, std::uint32_t replicas,
+                   std::uint64_t seed);
+
+  [[nodiscard]] const TrafficParams& params() const { return params_; }
+
+  /// Next Poisson interarrival gap (exponential at arrival_rate).
+  [[nodiscard]] Duration next_interarrival();
+
+  /// Payload + routing of the next request.
+  [[nodiscard]] RequestSpec next_request();
+
+ private:
+  TrafficParams params_;
+  std::uint32_t replicas_;
+  Rng arrivals_;
+  Rng payload_;
+};
+
+}  // namespace lp::serve

@@ -15,8 +15,12 @@ void EventQueue::schedule_in(Duration delay, Callback fn) {
 std::size_t EventQueue::run(std::size_t max_events) {
   std::size_t processed = 0;
   while (!heap_.empty() && processed < max_events) {
-    // Copy out before pop: the callback may schedule new events.
-    Item item = heap_.top();
+    // Move out before pop: top() is const-qualified so a plain copy would
+    // deep-copy the std::function closure on every dispatch.  Moving from
+    // the element is safe because pop() runs before anything can observe
+    // the moved-from state, and it must happen before the callback runs —
+    // the callback may schedule new events and reshape the heap.
+    Item item = std::move(const_cast<Item&>(heap_.top()));
     heap_.pop();
     now_ = item.when;
     item.fn();
@@ -28,7 +32,7 @@ std::size_t EventQueue::run(std::size_t max_events) {
 std::size_t EventQueue::run_until(TimePoint until) {
   std::size_t processed = 0;
   while (!heap_.empty() && heap_.top().when <= until) {
-    Item item = heap_.top();
+    Item item = std::move(const_cast<Item&>(heap_.top()));
     heap_.pop();
     now_ = item.when;
     item.fn();

@@ -1,7 +1,12 @@
-// Minimal discrete-event simulation core.
+// Minimal discrete-event simulation core: the *reference* implementation.
 //
-// Used by the decentralized circuit-setup protocol simulation (routing/
-// decentralized) and available to any component that needs timed callbacks.
+// Production users (routing/decentralized, the serve/ subsystem) run on the
+// calendar-queue sim::EventEngine (event_engine.hpp), which shares this
+// queue's exact observable contract — timestamp order, FIFO tie-break at
+// equal times, reentrant scheduling, run_until's <=-deadline semantics —
+// at >10x the dispatch throughput.  This binary-heap version stays as the
+// obviously-correct oracle for the randomized differential test in
+// tests/event_engine_test.cpp and as the baseline in bench_event_queue.
 #pragma once
 
 #include <cstdint>
