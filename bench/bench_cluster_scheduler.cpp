@@ -1,0 +1,216 @@
+// Cluster-scale multi-tenant resilience: accepted load under fault churn,
+// photonic slice morphing vs electrical-only rack-granularity migration.
+//
+// bench_training_resilience asks the job-level question (one run, one
+// fault); this bench asks the cluster-level one: with a Poisson stream of
+// heterogeneous slice jobs arriving while chips, servers, and rack power
+// domains fail continuously, how much of the offered work does each fabric
+// accept?  The photonic policy composes the full recovery escalation —
+// in-place optical repair, spare-pool respare, slice morphing across
+// non-contiguous racks, elastic shrink — while the electrical baseline is
+// limited to draining and re-placing whole contiguous slices (§4.2's
+// blast-radius argument at cluster scale).
+//
+// --json additionally writes BENCH_cluster_scheduler.json.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "cluster/scheduler.hpp"
+
+namespace {
+
+using namespace lp;
+
+cluster::ClusterSweepConfig sweep_config() {
+  cluster::ClusterSweepConfig config;
+  // 16 racks (1024 chips), oversubscribed: ~4 slice jobs/s against a
+  // 90 s mean service demand keeps a queue standing, so every chip-second
+  // lost to recovery is work the cluster turns away.  MTBFs are
+  // accelerated, as in the training-resilience sweep.
+  config.base.cluster.racks = 16;
+  config.base.arrival_rate_per_s = 4.0;
+  config.base.horizon = Duration::seconds(120.0);
+  config.base.drain = Duration::seconds(240.0);
+  config.base.service_mean = Duration::seconds(90.0);
+  config.base.fabric_wafers = 4;
+  config.mtbf_points = {0.5, 1.0, 2.0, 4.0, 8.0};
+  config.trials = 2;
+  return config;
+}
+
+void emit_point(bench::JsonWriter* jw, const cluster::ClusterPointReport& pt) {
+  if (jw == nullptr) return;
+  jw->begin_object();
+  jw->key("mtbf_hours").value(pt.mtbf_hours);
+  jw->key("policy").value(cluster::to_string(pt.policy));
+  jw->key("accepted_load_mean").value(pt.accepted_load_mean);
+  jw->key("goodput_mean").value(pt.goodput_mean);
+  jw->key("queue_delay_p50_s").value(pt.queue_delay_p50_s);
+  jw->key("queue_delay_p99_s").value(pt.queue_delay_p99_s);
+  jw->key("frag_stranding_avg").value(pt.frag_stranding_avg);
+  jw->key("utilization_avg").value(pt.utilization_avg);
+  jw->key("completed").value(pt.completed);
+  jw->key("offered").value(pt.offered);
+  jw->key("requeues").value(pt.requeues);
+  jw->key("aborted").value(pt.aborted);
+  jw->key("morphs").value(pt.morphs);
+  jw->key("elastic_shrinks").value(pt.elastic_shrinks);
+  jw->key("migrations").value(pt.migrations);
+  jw->key("fault_events").value(pt.fault_events);
+  jw->end_object();
+}
+
+void print_sweep(bench::JsonWriter* jw) {
+  const auto config = sweep_config();
+  bench::header("Accepted load vs per-chip MTBF (accelerated), morphing vs electrical");
+  std::printf("%d racks (%d chips), %.1f jobs/s offered, %u trials/point;\n",
+              config.base.cluster.racks, config.base.cluster.racks * 64,
+              config.base.arrival_rate_per_s, config.trials);
+  std::printf("both policies of a trial face identical arrival and fault streams.\n\n");
+  std::printf("  %-9s %-16s %9s %9s %8s %8s %7s %7s %7s\n", "MTBF (h)", "policy",
+              "accepted", "goodput", "q p99", "strand", "morphs", "shrink",
+              "migrate");
+
+  const cluster::ClusterSweepReport report = cluster::run_cluster_sweep(config);
+  if (jw != nullptr) jw->key("sweep").begin_array();
+  for (const cluster::ClusterPointReport& pt : report.points) {
+    std::printf("  %-9.1f %-16s %9.4f %9.4f %7.1fs %8.4f %7llu %7llu %7llu\n",
+                pt.mtbf_hours, cluster::to_string(pt.policy),
+                pt.accepted_load_mean, pt.goodput_mean, pt.queue_delay_p99_s,
+                pt.frag_stranding_avg, static_cast<unsigned long long>(pt.morphs),
+                static_cast<unsigned long long>(pt.elastic_shrinks),
+                static_cast<unsigned long long>(pt.migrations));
+    emit_point(jw, pt);
+  }
+  if (jw != nullptr) jw->end_array();
+
+  // The acceptance check, printed so a regression is visible in the log:
+  // the photonic policy must accept strictly more load at every MTBF point.
+  bool photonic_wins = true;
+  for (std::size_t i = 0; i + 1 < report.points.size(); i += 2) {
+    if (report.points[i].accepted_load_mean <=
+        report.points[i + 1].accepted_load_mean) {
+      photonic_wins = false;
+    }
+  }
+  bench::line();
+  std::printf("photonic morphing strictly above electrical at every MTBF: %s\n",
+              photonic_wins ? "yes" : "NO (regression!)");
+  if (jw != nullptr) jw->key("photonic_strictly_higher").value(photonic_wins);
+
+  // Determinism spot check: the sweep digest must not depend on the worker
+  // count (the full 1/2/8 matrix runs in cluster_test; here one rerun at a
+  // different thread count guards the release binary).
+  cluster::ClusterSweepConfig redo = config;
+  redo.threads = 2;
+  const std::uint64_t redo_digest = cluster::run_cluster_sweep(redo).digest;
+  std::printf("sweep digest %016llx, thread-count invariant: %s\n",
+              static_cast<unsigned long long>(report.digest),
+              redo_digest == report.digest ? "yes" : "NO (regression!)");
+  if (jw != nullptr) {
+    jw->key("digest").value(report.digest);
+    jw->key("thread_invariant").value(redo_digest == report.digest);
+  }
+}
+
+void print_morph_demo(bench::JsonWriter* jw) {
+  bench::header("Server-tray death with the rack's spare pool exhausted");
+  cluster::ClusterParams params;
+  params.cluster.racks = 2;
+  params.horizon = Duration::seconds(5.0);
+  params.drain = Duration::seconds(600.0);
+  params.fabric_wafers = 2;
+  params.job_script = {
+      {Duration::seconds(0.1), topo::Shape{{4, 4, 4}}, Duration::seconds(20.0)},
+      {Duration::seconds(0.2), topo::Shape{{2, 2, 1}}, Duration::seconds(5.0)},
+  };
+  params.script = {{Duration::seconds(1.0), cluster::FaultDomain::kServer, 0,
+                    fault::FaultKind::kChipDeath, 1}};
+  const cluster::ClusterReport report = cluster::run_cluster(params);
+  std::printf("rack-filling job loses a 4-chip server; rack 0 has no spares.\n");
+  std::printf("morphs %llu, shrinks %llu, requeues %llu; %llu/%llu jobs "
+              "completed, %.3f s lost\n",
+              static_cast<unsigned long long>(report.morphs),
+              static_cast<unsigned long long>(report.elastic_shrinks),
+              static_cast<unsigned long long>(report.requeues),
+              static_cast<unsigned long long>(report.completed),
+              static_cast<unsigned long long>(report.offered),
+              report.lost.total().to_seconds());
+  bench::line();
+  std::printf("the slice re-stitches across rack 1's free chips over optical\n");
+  std::printf("circuits instead of shrinking or draining: no work is turned away.\n");
+  if (jw != nullptr) {
+    jw->key("morph_demo").begin_object();
+    jw->key("morphs").value(report.morphs);
+    jw->key("elastic_shrinks").value(report.elastic_shrinks);
+    jw->key("requeues").value(report.requeues);
+    jw->key("completed").value(report.completed);
+    jw->key("offered").value(report.offered);
+    jw->key("lost_seconds").value(report.lost.total().to_seconds());
+    jw->end_object();
+  }
+}
+
+void print_all(bool emit_json) {
+  bench::JsonWriter jw;
+  bench::JsonWriter* out = emit_json ? &jw : nullptr;
+  if (out != nullptr) {
+    jw.begin_object();
+    jw.key("bench").value("cluster_scheduler");
+  }
+  print_sweep(out);
+  print_morph_demo(out);
+  if (out != nullptr) {
+    jw.end_object();
+    const char* path = "BENCH_cluster_scheduler.json";
+    std::printf("%s %s\n", jw.write_file(path) ? "wrote" : "FAILED to write", path);
+  }
+}
+
+void BM_ClusterRunFaultChurn(benchmark::State& state) {
+  cluster::ClusterParams params;
+  params.cluster.racks = 4;
+  params.horizon = Duration::seconds(30.0);
+  params.drain = Duration::seconds(60.0);
+  params.mtbf_hours = 0.5;
+  params.fabric_wafers = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster::run_cluster(params));
+  }
+}
+BENCHMARK(BM_ClusterRunFaultChurn);
+
+void BM_ClusterSweepPoint(benchmark::State& state) {
+  cluster::ClusterSweepConfig config;
+  config.base.cluster.racks = 2;
+  config.base.horizon = Duration::seconds(15.0);
+  config.base.drain = Duration::seconds(30.0);
+  config.base.fabric_wafers = 2;
+  config.mtbf_points = {1.0};
+  config.trials = 1;
+  config.threads = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster::run_cluster_sweep(config));
+  }
+}
+BENCHMARK(BM_ClusterSweepPoint);
+
+void BM_ScriptedMorph(benchmark::State& state) {
+  cluster::ClusterParams params;
+  params.cluster.racks = 2;
+  params.horizon = Duration::seconds(5.0);
+  params.drain = Duration::seconds(600.0);
+  params.fabric_wafers = 2;
+  params.job_script = {
+      {Duration::seconds(0.1), topo::Shape{{4, 4, 4}}, Duration::seconds(20.0)}};
+  params.script = {{Duration::seconds(1.0), cluster::FaultDomain::kServer, 0,
+                    fault::FaultKind::kChipDeath, 1}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster::run_cluster(params));
+  }
+}
+BENCHMARK(BM_ScriptedMorph);
+
+}  // namespace
+
+LP_BENCH_MAIN_JSON(print_all)

@@ -191,17 +191,38 @@ std::vector<Fault> FaultInjector::sample_trial(std::uint64_t trial) const {
   return sample(rng);
 }
 
+SampledFaults FaultInjector::sample_trial_with_domain(std::uint64_t trial) const {
+  Rng rng{util::task_seed(seed_, trial)};
+  return sample_with_domain(rng);
+}
+
 std::vector<Fault> FaultInjector::sample(Rng& rng) const {
-  std::vector<Fault> out;
-  out.push_back(sample_one(rng));
+  return sample_with_domain(rng).faults;
+}
+
+SampledFaults FaultInjector::sample_with_domain(Rng& rng) const {
+  SampledFaults out;
+  out.faults.push_back(sample_one(rng));
   if (rng.bernoulli(params_.burst_probability)) {
     const std::uint32_t lo = params_.burst_extra_min;
     const std::uint32_t hi = std::max(params_.burst_extra_max, lo);
     const std::uint32_t extra =
         lo + static_cast<std::uint32_t>(rng.uniform_index(hi - lo + 1));
-    const fabric::WaferId burst_wafer = out.front().tile.wafer;
+    // The domain draw happens even when a single-wafer fabric forces the
+    // per-wafer fallback, so the stream consumed per burst is fixed and the
+    // same (seed, trial) yields the same severities on any geometry.
+    const bool rack_power = rng.bernoulli(params_.rack_power_probability) &&
+                            fab_->wafer_count() > 1;
+    out.domain = rack_power ? BurstDomain::kRackPower : BurstDomain::kWafer;
+    const fabric::WaferId burst_wafer = out.faults.front().tile.wafer;
+    const auto wafers = static_cast<fabric::WaferId>(fab_->wafer_count());
     for (std::uint32_t i = 0; i < extra; ++i) {
-      out.push_back(sample_one(rng, burst_wafer));
+      const fabric::WaferId confine =
+          rack_power
+              ? static_cast<fabric::WaferId>(
+                    (burst_wafer + 1 + static_cast<fabric::WaferId>(i)) % wafers)
+              : burst_wafer;
+      out.faults.push_back(sample_one(rng, confine));
     }
   }
   return out;

@@ -95,11 +95,18 @@ struct FaultModelParams {
   double fiber_cut_weight{0.75};
   double laser_loss_weight{1.5};
   double chip_death_weight{0.5};
-  /// Correlated per-wafer fault burst: with this probability a trial draws
-  /// extra faults confined to the first fault's wafer.
+  /// Correlated fault burst: with this probability a trial draws extra
+  /// faults in a correlated failure domain (see rack_power_probability).
   double burst_probability{0.15};
   std::uint32_t burst_extra_min{1};
   std::uint32_t burst_extra_max{3};
+  /// Given a burst fires, probability its domain is a rack-power event
+  /// spanning servers — the extra faults cycle across the *other* wafers,
+  /// so the burst is guaranteed cross-server whenever the fabric has more
+  /// than one wafer.  Otherwise the burst is confined to the first fault's
+  /// wafer (a bad wafer or a local thermal event).  On a single-wafer
+  /// fabric every burst degenerates to the per-wafer domain.
+  double rack_power_probability{0.25};
   /// Severity distributions (Gaussians truncated below at ~0).
   double waveguide_drift_mean_db{2.5};
   double waveguide_drift_sigma_db{1.0};
@@ -199,6 +206,28 @@ class FaultSet {
   bool applied_{false};
 };
 
+/// The correlated failure domain a sampled trial drew.
+enum class BurstDomain : std::uint8_t {
+  kNone = 0,       ///< no burst: a single independent fault
+  kWafer = 1,      ///< burst confined to the first fault's wafer (server)
+  kRackPower = 2,  ///< rack-power burst spanning wafers (cross-server)
+};
+
+[[nodiscard]] constexpr const char* to_string(BurstDomain d) {
+  switch (d) {
+    case BurstDomain::kNone: return "none";
+    case BurstDomain::kWafer: return "wafer";
+    case BurstDomain::kRackPower: return "rack-power";
+  }
+  return "?";
+}
+
+/// One trial's faults plus the correlated domain that produced them.
+struct SampledFaults {
+  std::vector<Fault> faults;
+  BurstDomain domain{BurstDomain::kNone};
+};
+
 /// Deterministic fault sampling against one fabric's geometry.
 class FaultInjector {
  public:
@@ -212,9 +241,18 @@ class FaultInjector {
   /// which worker evaluates the trial.
   [[nodiscard]] std::vector<Fault> sample_trial(std::uint64_t trial) const;
 
+  /// Like sample_trial, but reporting the correlated domain drawn.
+  [[nodiscard]] SampledFaults sample_trial_with_domain(std::uint64_t trial) const;
+
   /// Draws one trial's faults (first fault + optional correlated burst)
   /// from an external stream.
   [[nodiscard]] std::vector<Fault> sample(Rng& rng) const;
+
+  /// Draws one trial's faults and the burst domain.  When the burst is
+  /// kWafer the extras are confined to the first fault's wafer; when it is
+  /// kRackPower, extra fault i is confined to wafer (w0 + 1 + i) mod
+  /// wafer_count — a rack-power event sweeping across servers.
+  [[nodiscard]] SampledFaults sample_with_domain(Rng& rng) const;
 
   /// Draws a single fault; `confine` restricts tile selection to a wafer
   /// (burst correlation).

@@ -21,6 +21,17 @@ struct Precomputed {
 ConcurrentPlanResult plan_jobs(fabric::Fabric& fab,
                                const std::vector<std::vector<Demand>>& jobs,
                                const RouteOptions& options, unsigned threads) {
+  PlanJobsOptions opts;
+  opts.route = options;
+  opts.threads = threads;
+  return plan_jobs(fab, jobs, opts);
+}
+
+ConcurrentPlanResult plan_jobs(fabric::Fabric& fab,
+                               const std::vector<std::vector<Demand>>& jobs,
+                               const PlanJobsOptions& plan_options) {
+  const RouteOptions& options = plan_options.route;
+  const unsigned threads = plan_options.threads;
   ConcurrentPlanResult result;
   result.stats.jobs = jobs.size();
   result.reports.resize(jobs.size());
@@ -92,7 +103,21 @@ ConcurrentPlanResult plan_jobs(fabric::Fabric& fab,
         report.placed.push_back(PlacedCircuit{p.demand, placed.value()});
       } else {
         report.failed.push_back(p.demand);
+        if (plan_options.atomic_jobs) break;
       }
+    }
+    if (plan_options.atomic_jobs && !report.failed.empty()) {
+      // All-or-nothing: tear down this job's partial placement in reverse
+      // commit order, still inside the sequential Phase B, so later jobs
+      // (and any thread count) see the identical ledger.
+      for (auto it = report.placed.rbegin(); it != report.placed.rend(); ++it) {
+        fab.disconnect(it->id);
+      }
+      report.placed.clear();
+      report.mzis_programmed = 0;
+      report.failed.clear();
+      for (const Precomputed& p : pre[j]) report.failed.push_back(p.demand);
+      ++result.stats.jobs_rolled_back;
     }
     report.reconfig_latency = fab.reconfig().batch_latency(report.mzis_programmed);
   }

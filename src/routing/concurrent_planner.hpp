@@ -47,6 +47,8 @@ struct ConcurrentPlanStats {
   /// ONLY: depends on Phase-A scheduling and is excluded from the
   /// bit-identical-at-any-thread-count contract.
   std::uint64_t overlay_rejected{0};
+  /// Jobs whose partial placements were torn down under atomic_jobs.
+  std::uint64_t jobs_rolled_back{0};
 };
 
 struct ConcurrentPlanResult {
@@ -55,10 +57,29 @@ struct ConcurrentPlanResult {
   ConcurrentPlanStats stats;
 };
 
+struct PlanJobsOptions {
+  RouteOptions route{};
+  /// When set, a job either places *all* of its demands or none: the first
+  /// demand that fails to commit tears down the job's already-placed
+  /// circuits in reverse commit order (inside Phase B, so the rollback is
+  /// deterministic) and the whole demand set is reported failed.  The live
+  /// ledger is left exactly as if the job had never been attempted, which
+  /// is what slice morphing needs — a morph plan must not leak circuits
+  /// when it aborts.
+  bool atomic_jobs{false};
+  /// `0` defers to LIGHTPATH_THREADS / hardware concurrency.
+  unsigned threads{0};
+};
+
 /// Plans every job's demand set against `fab`.  `threads == 0` defers to
 /// LIGHTPATH_THREADS / hardware concurrency (util::env_threads).
 [[nodiscard]] ConcurrentPlanResult plan_jobs(
     fabric::Fabric& fab, const std::vector<std::vector<Demand>>& jobs,
     const RouteOptions& options = {}, unsigned threads = 0);
+
+/// As above, with per-job atomicity control.
+[[nodiscard]] ConcurrentPlanResult plan_jobs(
+    fabric::Fabric& fab, const std::vector<std::vector<Demand>>& jobs,
+    const PlanJobsOptions& options);
 
 }  // namespace lp::routing

@@ -1,6 +1,8 @@
 #include "topo/slice.hpp"
 
+#include <algorithm>
 #include <string>
+#include <utility>
 
 namespace lp::topo {
 
@@ -58,17 +60,33 @@ Result<SliceId> SliceAllocator::allocate_at(RackId rack, Coord offset, Shape sha
   return s.id;
 }
 
-Result<SliceId> SliceAllocator::allocate(Shape shape) {
+Result<SliceId> SliceAllocator::allocate_in_rack(RackId rack, Shape shape) {
   const Shape& rs = cluster_.config().rack_shape;
-  for (RackId rack = 0; rack < cluster_.rack_count(); ++rack) {
-    for (std::int32_t x = 0; x + shape[0] <= rs[0]; ++x) {
-      for (std::int32_t y = 0; y + shape[1] <= rs[1]; ++y) {
-        for (std::int32_t z = 0; z + shape[2] <= rs[2]; ++z) {
-          auto attempt = allocate_at(rack, Coord{{x, y, z}}, shape);
-          if (attempt) return attempt;
-        }
+  for (std::int32_t x = 0; x + shape[0] <= rs[0]; ++x) {
+    for (std::int32_t y = 0; y + shape[1] <= rs[1]; ++y) {
+      for (std::int32_t z = 0; z + shape[2] <= rs[2]; ++z) {
+        auto attempt = allocate_at(rack, Coord{{x, y, z}}, shape);
+        if (attempt) return attempt;
       }
     }
+  }
+  return Err("no free region of the requested shape in rack " + std::to_string(rack));
+}
+
+Result<SliceId> SliceAllocator::allocate(Shape shape) {
+  // Best-fit total order: racks by (free chips ascending, rack id
+  // ascending); a rack is skipped outright when its free count cannot cover
+  // the shape.  See the header for the full contract.
+  std::vector<std::pair<std::int32_t, RackId>> order;
+  order.reserve(static_cast<std::size_t>(cluster_.rack_count()));
+  for (RackId rack = 0; rack < cluster_.rack_count(); ++rack) {
+    const std::int32_t free = free_in_rack(rack);
+    if (free >= shape.size()) order.emplace_back(free, rack);
+  }
+  std::sort(order.begin(), order.end());
+  for (const auto& [free, rack] : order) {
+    auto attempt = allocate_in_rack(rack, shape);
+    if (attempt) return attempt;
   }
   return Err("no free region of the requested shape in any rack");
 }
@@ -101,6 +119,84 @@ std::vector<SliceId> SliceAllocator::active_slices() const {
     if (live_[i]) out.push_back(static_cast<SliceId>(i));
   }
   return out;
+}
+
+std::int32_t SliceAllocator::free_in_rack(RackId rack) const {
+  std::int32_t count = 0;
+  const std::int32_t per = cluster_.chips_per_rack();
+  for (std::int32_t i = 0; i < per; ++i) {
+    if (cluster_.state(rack * per + i) == ChipState::kFree) ++count;
+  }
+  return count;
+}
+
+Shape SliceAllocator::largest_placeable(RackId rack) const {
+  const Shape& rs = cluster_.config().rack_shape;
+  // Free-cell occupancy of the rack, indexed by the rack torus.
+  const std::int32_t per = cluster_.chips_per_rack();
+  std::vector<bool> free_cell(static_cast<std::size_t>(per));
+  std::int32_t free_total = 0;
+  for (std::int32_t i = 0; i < per; ++i) {
+    const bool f = cluster_.state(rack * per + i) == ChipState::kFree;
+    free_cell[static_cast<std::size_t>(i)] = f;
+    if (f) ++free_total;
+  }
+  if (free_total == 0) return Shape{{0, 0, 0}};
+
+  // Candidate shapes in (volume descending, shape lexicographic ascending)
+  // order; the first placeable candidate is the answer.
+  std::vector<Shape> candidates;
+  for (std::int32_t sx = 1; sx <= rs[0]; ++sx) {
+    for (std::int32_t sy = 1; sy <= rs[1]; ++sy) {
+      for (std::int32_t sz = 1; sz <= rs[2]; ++sz) {
+        candidates.push_back(Shape{{sx, sy, sz}});
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(), [](const Shape& a, const Shape& b) {
+    if (a.size() != b.size()) return a.size() > b.size();
+    return a.extent < b.extent;
+  });
+
+  const Torus& torus = cluster_.rack_torus();
+  for (const Shape& s : candidates) {
+    if (s.size() > free_total) continue;
+    for (std::int32_t x = 0; x + s[0] <= rs[0]; ++x) {
+      for (std::int32_t y = 0; y + s[1] <= rs[1]; ++y) {
+        for (std::int32_t z = 0; z + s[2] <= rs[2]; ++z) {
+          bool fits = true;
+          for (std::int32_t dx = 0; fits && dx < s[0]; ++dx) {
+            for (std::int32_t dy = 0; fits && dy < s[1]; ++dy) {
+              for (std::int32_t dz = 0; fits && dz < s[2]; ++dz) {
+                const std::int32_t idx =
+                    torus.index(Coord{{x + dx, y + dy, z + dz}});
+                fits = free_cell[static_cast<std::size_t>(idx)];
+              }
+            }
+          }
+          if (fits) return s;
+        }
+      }
+    }
+  }
+  return Shape{{0, 0, 0}};
+}
+
+FragmentationReport SliceAllocator::fragmentation() const {
+  FragmentationReport report;
+  report.racks.reserve(static_cast<std::size_t>(cluster_.rack_count()));
+  for (RackId rack = 0; rack < cluster_.rack_count(); ++rack) {
+    RackFragmentation rf;
+    rf.rack = rack;
+    rf.free_chips = free_in_rack(rack);
+    rf.largest_shape = largest_placeable(rack);
+    rf.largest_volume = rf.largest_shape.size();
+    report.total_free += rf.free_chips;
+    report.placeable_sum += rf.largest_volume;
+    report.largest_volume = std::max(report.largest_volume, rf.largest_volume);
+    report.racks.push_back(rf);
+  }
+  return report;
 }
 
 std::optional<SliceId> SliceAllocator::owner(TpuId chip) const {

@@ -39,6 +39,36 @@ struct Slice {
   [[nodiscard]] bool spans_dimension(std::size_t d, const Shape& rack_shape) const;
 };
 
+/// Free-space accounting for one rack: how many chips are free and the
+/// largest slice shape still placeable there.  The gap between the two is
+/// fragmentation — free chips stranded in holes no regular slice can use.
+struct RackFragmentation {
+  RackId rack{0};
+  std::int32_t free_chips{0};
+  /// Largest-volume free sub-cuboid (ties broken by lexicographically
+  /// smallest shape); {0,0,0} when nothing is placeable.
+  Shape largest_shape{{0, 0, 0}};
+  std::int32_t largest_volume{0};
+};
+
+struct FragmentationReport {
+  std::vector<RackFragmentation> racks;
+  std::int32_t total_free{0};
+  /// Largest placeable volume anywhere (max over racks).
+  std::int32_t largest_volume{0};
+  /// Sum of per-rack largest placeable volumes.
+  std::int32_t placeable_sum{0};
+
+  /// Fraction of free chips stranded outside each rack's largest placeable
+  /// cuboid: 0 = perfectly compact, -> 1 = free capacity exists but no
+  /// regular slice can use most of it.
+  [[nodiscard]] double stranding() const {
+    return total_free == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(placeable_sum) / static_cast<double>(total_free);
+  }
+};
+
 /// Tracks slice placement within a cluster and answers "who owns chip X".
 class SliceAllocator {
  public:
@@ -48,8 +78,24 @@ class SliceAllocator {
   /// figures).  Fails if any covered chip is not free.
   Result<SliceId> allocate_at(RackId rack, Coord offset, Shape shape);
 
-  /// First-fit scan over all racks and offsets.
+  /// Best-fit scan with a documented deterministic total order:
+  ///
+  ///   1. candidate racks are visited in (free-chip count ascending,
+  ///      rack id ascending) order — the tightest rack that still fits
+  ///      wins, which packs the cluster and preserves large holes;
+  ///   2. within a rack, offsets are scanned row-major ascending
+  ///      (x outermost, then y, then z);
+  ///   3. the first feasible (rack, offset) under that order is taken.
+  ///
+  /// The choice is a pure function of the current chip-state multiset: two
+  /// allocators whose racks hold identical free/allocated/failed sets place
+  /// the next slice identically, no matter what alloc/release history
+  /// produced those sets (permutation-invariance regression in topo_test).
   Result<SliceId> allocate(Shape shape);
+
+  /// The within-rack leg of allocate()'s order: first row-major offset at
+  /// which `shape` fits entirely on free chips of `rack`.
+  Result<SliceId> allocate_in_rack(RackId rack, Shape shape);
 
   /// Release a slice, freeing its chips.  Idempotent.
   void release(SliceId id);
@@ -59,6 +105,18 @@ class SliceAllocator {
 
   /// Owning slice of a chip, or nullopt if free/failed/unowned.
   [[nodiscard]] std::optional<SliceId> owner(TpuId chip) const;
+
+  /// Number of kFree chips in `rack`.
+  [[nodiscard]] std::int32_t free_in_rack(RackId rack) const;
+
+  /// Largest-volume shape placeable entirely on free chips of `rack`
+  /// (ties broken by lexicographically smallest shape); {0,0,0} if none.
+  [[nodiscard]] Shape largest_placeable(RackId rack) const;
+
+  /// Full free/fragmentation accounting, one entry per rack.  O(racks x
+  /// shapes x offsets); callers that need it per-event should cache per
+  /// rack and recompute only racks whose chips changed state.
+  [[nodiscard]] FragmentationReport fragmentation() const;
 
   [[nodiscard]] TpuCluster& cluster() { return cluster_; }
   [[nodiscard]] const TpuCluster& cluster() const { return cluster_; }

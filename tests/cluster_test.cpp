@@ -1,0 +1,232 @@
+// Tests of the cluster-scale multi-tenant scheduler: admission and
+// completion accounting, the recovery escalation's decision boundaries
+// (respare vs morph vs shrink vs requeue), exact rollback of aborted
+// morphs, and sweep determinism across thread counts.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/scheduler.hpp"
+#include "topo/torus.hpp"
+
+namespace lp::cluster {
+namespace {
+
+using topo::Shape;
+
+ClusterParams small_cluster(std::int32_t racks) {
+  ClusterParams p;
+  p.cluster.racks = racks;
+  p.horizon = Duration::seconds(30.0);
+  p.drain = Duration::seconds(120.0);
+  p.arrival_rate_per_s = 1.0;
+  p.service_mean = Duration::seconds(15.0);
+  p.service_min = Duration::seconds(2.0);
+  p.fabric_wafers = 2;
+  return p;
+}
+
+// The scripted decision-boundary world: job A fills rack 0 (no spare chips
+// left there), job B takes a corner of rack 1, and a server tray of job A
+// dies mid-run.  Respare is impossible; what happens next is the knob under
+// test.
+ClusterParams boundary_params() {
+  ClusterParams p;
+  p.cluster.racks = 2;
+  p.horizon = Duration::seconds(5.0);
+  p.drain = Duration::seconds(600.0);
+  p.fabric_wafers = 2;
+  p.job_script = {
+      {Duration::seconds(0.1), Shape{{4, 4, 4}}, Duration::seconds(20.0)},
+      {Duration::seconds(0.2), Shape{{2, 2, 1}}, Duration::seconds(5.0)},
+  };
+  p.script = {
+      {Duration::seconds(1.0), FaultDomain::kServer, 0,
+       fault::FaultKind::kChipDeath, 1},
+  };
+  return p;
+}
+
+TEST(ClusterScheduler, FaultFreeRunCompletesEverythingItAdmits) {
+  ClusterParams p = small_cluster(4);
+  p.mtbf_hours = 0.0;  // no fault timeline at all
+  ClusterScheduler s{p};
+  const ClusterReport r = s.run();
+
+  EXPECT_GT(r.offered, 0u);
+  EXPECT_EQ(r.offered, r.completed + r.unserved + r.aborted);
+  EXPECT_EQ(r.aborted, 0u);
+  EXPECT_EQ(r.fault_events, 0u);
+  EXPECT_EQ(r.requeues, 0u);
+  EXPECT_GT(r.completed, 0u);
+  EXPECT_GE(r.accepted_load(), 0.0);
+  EXPECT_LE(r.accepted_load(), 1.0);
+  EXPECT_GE(r.utilization_avg, 0.0);
+  EXPECT_LE(r.utilization_avg, 1.0);
+  EXPECT_EQ(s.ocs().ports_used(), 0u) << "completed jobs release OCS ports";
+}
+
+TEST(ClusterScheduler, ReportIsAPureFunctionOfParams) {
+  const ClusterParams p = small_cluster(4);
+  const ClusterReport a = run_cluster(p);
+  const ClusterReport b = run_cluster(p);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.fault_events, b.fault_events);
+  EXPECT_EQ(a.morphs, b.morphs);
+  EXPECT_EQ(a.requeues, b.requeues);
+  EXPECT_DOUBLE_EQ(a.offered_work_chip_seconds, b.offered_work_chip_seconds);
+  EXPECT_DOUBLE_EQ(a.completed_work_chip_seconds, b.completed_work_chip_seconds);
+
+  ClusterParams q = p;
+  q.seed ^= 0xdead;
+  EXPECT_NE(run_cluster(q).digest, a.digest) << "seed must matter";
+}
+
+// Spares available in the victim's rack -> respare wins; nothing morphs.
+TEST(ClusterScheduler, RespareIsPreferredWhenTheRackHasSpares) {
+  ClusterParams p = boundary_params();
+  p.job_script[0].shape = Shape{{4, 4, 2}};  // half the rack stays free
+  ClusterScheduler s{p};
+  const ClusterReport r = s.run();
+
+  EXPECT_EQ(r.fatal_chip_failures, 4u);
+  EXPECT_EQ(r.respares, 1u);
+  EXPECT_EQ(r.morphs, 0u);
+  EXPECT_EQ(r.elastic_shrinks, 0u);
+  EXPECT_EQ(r.completed, 2u);
+}
+
+// Spares exhausted mid-job: the scheduler must morph — re-stitch the slice
+// across rack 1's healthy chips — rather than degrade to an elastic shrink.
+TEST(ClusterScheduler, MorphIsPreferredOverShrinkWhenSparesExhaust) {
+  const ClusterParams p = boundary_params();
+  ClusterScheduler s{p};
+  const ClusterReport r = s.run();
+
+  EXPECT_EQ(r.fatal_chip_failures, 4u);
+  EXPECT_EQ(r.respares, 0u) << "rack 0 has no free chip to respare onto";
+  EXPECT_EQ(r.morphs, 1u);
+  EXPECT_EQ(r.morph_aborts, 0u);
+  EXPECT_EQ(r.elastic_shrinks, 0u);
+  EXPECT_EQ(r.completed, 2u);
+  EXPECT_EQ(r.aborted, 0u);
+  EXPECT_EQ(s.ocs().ports_used(), 0u)
+      << "the morphed job's stitch ports are released on completion";
+  EXPECT_EQ(s.fabric().ledger_digest(), fabric::Fabric{s.fabric().config()}.ledger_digest())
+      << "stitch circuits are torn down on completion";
+}
+
+// With morphing disabled the same timeline degrades to an elastic shrink.
+TEST(ClusterScheduler, ShrinkTakesOverWhenMorphingIsDisabled) {
+  ClusterParams p = boundary_params();
+  p.morph_enabled = false;
+  const ClusterReport r = run_cluster(p);
+
+  EXPECT_EQ(r.morphs, 0u);
+  EXPECT_EQ(r.elastic_shrinks, 1u);
+  EXPECT_EQ(r.completed, 2u);
+}
+
+// An aborted morph (here: no OCS ports to reserve) must roll back exactly —
+// the run's outcome digest matches a run where morphing was never tried,
+// because the abort leaves no trace beyond its diagnostic counter.
+TEST(ClusterScheduler, AbortedMorphRollsBackExactly) {
+  ClusterParams aborting = boundary_params();
+  aborting.ocs_switches = 0;  // reserve() can never succeed
+  const ClusterReport a = run_cluster(aborting);
+
+  ClusterParams never = boundary_params();
+  never.ocs_switches = 0;
+  never.morph_enabled = false;
+  const ClusterReport n = run_cluster(never);
+
+  EXPECT_GE(a.morph_aborts, 1u);
+  EXPECT_EQ(n.morph_aborts, 0u);
+  EXPECT_EQ(a.elastic_shrinks, 1u) << "the abort falls through to shrink";
+  EXPECT_EQ(a.digest, n.digest)
+      << "an exactly-rolled-back morph attempt must not perturb the outcome";
+}
+
+// Same rollback contract when the shrink floor forces a requeue instead.
+TEST(ClusterScheduler, AbortedMorphFallsThroughToRequeueUnderStrictFloor) {
+  ClusterParams aborting = boundary_params();
+  aborting.ocs_switches = 0;
+  aborting.shrink_min_fraction = 1.01;  // any chip loss is below the floor
+  const ClusterReport a = run_cluster(aborting);
+
+  ClusterParams never = aborting;
+  never.morph_enabled = false;
+  const ClusterReport n = run_cluster(never);
+
+  EXPECT_GE(a.morph_aborts, 1u);
+  EXPECT_GE(a.requeues, 1u);
+  EXPECT_EQ(a.elastic_shrinks, 0u);
+  EXPECT_EQ(a.digest, n.digest);
+}
+
+// The electrical baseline drains a job for ANY fault that touches it —
+// component faults included (the §4.2 blast-radius point) — and pays the
+// rack-granularity migration charge.
+TEST(ClusterScheduler, ElectricalBaselineMigratesOnComponentFaults) {
+  ClusterParams p = boundary_params();
+  p.policy = SchedulerPolicy::kElectricalOnly;
+  p.script = {
+      {Duration::seconds(1.0), FaultDomain::kChip, 0,
+       fault::FaultKind::kMziDrift, 1},
+  };
+  const ClusterReport r = run_cluster(p);
+
+  EXPECT_EQ(r.component_events, 1u);
+  EXPECT_EQ(r.fatal_chip_failures, 0u);
+  EXPECT_EQ(r.migrations + r.migration_failures, 1u)
+      << "a non-fatal component fault still drains the electrical job";
+  EXPECT_EQ(r.morphs, 0u);
+  EXPECT_EQ(r.inplace_repairs, 0u);
+
+  ClusterParams q = p;
+  q.policy = SchedulerPolicy::kPhotonicMorph;
+  const ClusterReport opt = run_cluster(q);
+  EXPECT_EQ(opt.inplace_repairs, 1u)
+      << "the photonic policy repairs the same fault in place";
+  EXPECT_EQ(opt.migrations, 0u);
+  EXPECT_LE(opt.lost.total().to_seconds(), r.lost.total().to_seconds());
+}
+
+TEST(ClusterSweep, BitIdenticalAt1_2_8Threads) {
+  ClusterSweepConfig config;
+  config.base = small_cluster(2);
+  config.base.horizon = Duration::seconds(15.0);
+  config.base.drain = Duration::seconds(60.0);
+  config.mtbf_points = {0.5, 4.0};
+  config.trials = 1;
+
+  std::vector<std::uint64_t> digests;
+  std::vector<ClusterSweepReport> reports;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    ClusterSweepConfig c = config;
+    c.threads = threads;
+    ClusterSweepReport r = run_cluster_sweep(c);
+    digests.push_back(r.digest);
+    reports.push_back(std::move(r));
+  }
+  EXPECT_EQ(digests[0], digests[1]);
+  EXPECT_EQ(digests[0], digests[2]);
+  ASSERT_EQ(reports[0].points.size(), 4u) << "2 mtbf points x 2 policies";
+  for (std::size_t i = 0; i < reports[0].points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(reports[1].points[i].accepted_load_mean,
+                     reports[0].points[i].accepted_load_mean);
+    EXPECT_DOUBLE_EQ(reports[2].points[i].goodput_mean,
+                     reports[0].points[i].goodput_mean);
+  }
+  // Photonic first within each point, mtbf ascending.
+  EXPECT_EQ(reports[0].points[0].policy, SchedulerPolicy::kPhotonicMorph);
+  EXPECT_EQ(reports[0].points[1].policy, SchedulerPolicy::kElectricalOnly);
+  EXPECT_DOUBLE_EQ(reports[0].points[0].mtbf_hours, 0.5);
+  EXPECT_DOUBLE_EQ(reports[0].points[2].mtbf_hours, 4.0);
+}
+
+}  // namespace
+}  // namespace lp::cluster

@@ -322,5 +322,63 @@ TEST(ConcurrentPlanner, MatchesSequentialPlannerWithAmpleCapacity) {
       << "ample capacity: every precomputed route must commit on the fast path";
 }
 
+// --- Per-job atomicity (atomic_jobs) ---------------------------------------
+
+// On a 1x4 wafer with one lane per edge, two identical demands cannot both
+// place: the second starves.  Under atomic_jobs the whole job must roll
+// back, leaving the ledger exactly as if it had never been attempted.
+TEST(ConcurrentPlanner, AtomicJobRollsBackExactly) {
+  const FabricConfig config = grid_config(1, 4, 1);
+  const Demand edge{{0, 0}, {0, 1}, 1};
+
+  Fabric fab{config};
+  const std::uint64_t pristine = fab.ledger_digest();
+
+  PlanJobsOptions opts;
+  opts.atomic_jobs = true;
+  const ConcurrentPlanResult r = plan_jobs(fab, {{edge, edge}}, opts);
+
+  ASSERT_EQ(r.reports.size(), 1u);
+  EXPECT_TRUE(r.reports[0].placed.empty()) << "partial placement leaked";
+  EXPECT_EQ(r.reports[0].failed.size(), 2u) << "the whole demand set is failed";
+  EXPECT_EQ(r.reports[0].mzis_programmed, 0u);
+  EXPECT_EQ(r.stats.jobs_rolled_back, 1u);
+  EXPECT_EQ(fab.ledger_digest(), pristine)
+      << "rollback must leave the lane ledger bit-identical";
+}
+
+TEST(ConcurrentPlanner, NonAtomicJobKeepsPartialPlacement) {
+  const FabricConfig config = grid_config(1, 4, 1);
+  const Demand edge{{0, 0}, {0, 1}, 1};
+
+  Fabric fab{config};
+  const std::uint64_t pristine = fab.ledger_digest();
+  const ConcurrentPlanResult r = plan_jobs(fab, {{edge, edge}}, PlanJobsOptions{});
+
+  ASSERT_EQ(r.reports.size(), 1u);
+  EXPECT_EQ(r.reports[0].placed.size(), 1u);
+  EXPECT_EQ(r.reports[0].failed.size(), 1u);
+  EXPECT_EQ(r.stats.jobs_rolled_back, 0u);
+  EXPECT_NE(fab.ledger_digest(), pristine) << "the surviving circuit holds lanes";
+}
+
+// A rolled-back job releases its lanes before later jobs commit (Phase B is
+// ascending), so a successor contending for the same edge still places.
+TEST(ConcurrentPlanner, RollbackFreesLanesForLaterJobs) {
+  const FabricConfig config = grid_config(1, 4, 1);
+  const Demand edge{{0, 0}, {0, 1}, 1};
+
+  Fabric fab{config};
+  PlanJobsOptions opts;
+  opts.atomic_jobs = true;
+  const ConcurrentPlanResult r = plan_jobs(fab, {{edge, edge}, {edge}}, opts);
+
+  ASSERT_EQ(r.reports.size(), 2u);
+  EXPECT_TRUE(r.reports[0].placed.empty()) << "job 0 rolls back";
+  ASSERT_EQ(r.reports[1].placed.size(), 1u) << "job 1 takes the freed lane";
+  EXPECT_TRUE(r.reports[1].failed.empty());
+  EXPECT_EQ(r.stats.jobs_rolled_back, 1u);
+}
+
 }  // namespace
 }  // namespace lp::routing

@@ -69,6 +69,7 @@ TEST(Injector, BurstsConfineToTheFirstFaultsWafer) {
   FaultModelParams params;
   params.burst_probability = 1.0;
   params.fiber_cut_weight = 0.0;  // cut anchors span wafers; exclude for the check
+  params.rack_power_probability = 0.0;  // rack-power bursts cross wafers by design
   const FaultInjector injector{fab, params, 7};
   std::size_t bursts = 0;
   for (std::uint64_t trial = 0; trial < 40; ++trial) {
@@ -80,6 +81,66 @@ TEST(Injector, BurstsConfineToTheFirstFaultsWafer) {
     }
   }
   EXPECT_GT(bursts, 0u);
+}
+
+// Rack-power bursts spill onto the wafers after the anchor's, in order —
+// extra i lands on wafer (w0 + 1 + i) mod wafer_count.  The domain draw is
+// part of the seeded stream, so the split below is a regression pin: a
+// change to the draw order shows up as a different domain mix.
+TEST(Injector, RackPowerBurstsSpanConsecutiveWafers) {
+  FabricConfig config;
+  config.wafer_count = 4;
+  const Fabric fab{config};
+  FaultModelParams params;
+  params.burst_probability = 1.0;
+  params.fiber_cut_weight = 0.0;
+  params.rack_power_probability = 1.0;  // every burst is a rack-power event
+  const FaultInjector injector{fab, params, 7};
+  for (std::uint64_t trial = 0; trial < 40; ++trial) {
+    const SampledFaults sf = injector.sample_trial_with_domain(trial);
+    ASSERT_GE(sf.faults.size(), 2u);
+    EXPECT_EQ(sf.domain, BurstDomain::kRackPower) << "trial " << trial;
+    const auto w0 = sf.faults.front().tile.wafer;
+    for (std::size_t i = 1; i < sf.faults.size(); ++i) {
+      const auto want = static_cast<fabric::WaferId>(
+          (w0 + static_cast<fabric::WaferId>(i)) % config.wafer_count);
+      EXPECT_EQ(sf.faults[i].tile.wafer, want)
+          << "trial " << trial << " extra " << i - 1;
+    }
+  }
+}
+
+// On a single-wafer fabric there is no second wafer to power down, so the
+// domain degrades to kWafer — but the Bernoulli draw still happens, keeping
+// the stream identical to the multi-wafer case.
+TEST(Injector, RackPowerDomainDegradesOnSingleWafer) {
+  const Fabric fab{FabricConfig{}};
+  FaultModelParams params;
+  params.burst_probability = 1.0;
+  params.rack_power_probability = 1.0;
+  const FaultInjector injector{fab, params, 7};
+  for (std::uint64_t trial = 0; trial < 20; ++trial) {
+    const SampledFaults sf = injector.sample_trial_with_domain(trial);
+    EXPECT_EQ(sf.domain, BurstDomain::kWafer) << "trial " << trial;
+    for (const Fault& f : sf.faults) EXPECT_EQ(f.tile.wafer, 0u);
+  }
+}
+
+// The domain draw is a pure function of (seed, trial): same inputs, same
+// SampledFaults — and single-fault trials report kNone.
+TEST(Injector, DomainDrawIsDeterministic) {
+  const Fabric fab = two_wafer_fabric();
+  FaultModelParams params;
+  params.burst_probability = 0.0;  // never bursts
+  const FaultInjector injector{fab, params, 42};
+  for (std::uint64_t trial = 0; trial < 20; ++trial) {
+    const SampledFaults a = injector.sample_trial_with_domain(trial);
+    const SampledFaults b = injector.sample_trial_with_domain(trial);
+    EXPECT_EQ(a.domain, BurstDomain::kNone);
+    ASSERT_EQ(a.faults.size(), 1u);
+    ASSERT_EQ(b.faults.size(), 1u);
+    EXPECT_TRUE(same_fault(a.faults.front(), b.faults.front())) << trial;
+  }
 }
 
 TEST(FaultSet, QueriesReflectAddedFaults) {

@@ -206,6 +206,92 @@ TEST(Allocator, AllocationExhaustion) {
   EXPECT_FALSE(alloc.allocate(Shape{{1, 1, 1}}).ok());
 }
 
+TEST(Allocator, FragmentationReportAccountsFreeAndPlaceable) {
+  ClusterConfig config;
+  config.racks = 2;
+  TpuCluster cluster{config};
+  SliceAllocator alloc{cluster};
+
+  // Empty cluster: everything free, everything placeable, no stranding.
+  FragmentationReport r = alloc.fragmentation();
+  EXPECT_EQ(r.total_free, 128);
+  EXPECT_EQ(r.largest_volume, 64);
+  EXPECT_EQ(r.placeable_sum, 128);
+  EXPECT_DOUBLE_EQ(r.stranding(), 0.0);
+
+  // Rack 0: z layers 0..2 allocated, z=3 free -> the free layer is exactly
+  // one placeable 4x4x1.
+  ASSERT_TRUE(alloc.allocate_at(0, Coord{{0, 0, 0}}, Shape{{4, 4, 3}}).ok());
+  r = alloc.fragmentation();
+  EXPECT_EQ(r.racks[0].free_chips, 16);
+  EXPECT_EQ(r.racks[0].largest_volume, 16);
+  EXPECT_EQ(r.racks[0].largest_shape, (Shape{{4, 4, 1}}));
+  EXPECT_EQ(r.total_free, 16 + 64);
+  EXPECT_EQ(r.placeable_sum, 16 + 64);
+  EXPECT_DOUBLE_EQ(r.stranding(), 0.0);
+
+  // Rack 1: fail the corner chip.  63 chips are free but the largest free
+  // cuboid is 48 -- 15 free chips are stranded.
+  cluster.set_state(cluster.chip_at(1, Coord{{0, 0, 0}}), ChipState::kFailed);
+  r = alloc.fragmentation();
+  EXPECT_EQ(r.racks[1].free_chips, 63);
+  EXPECT_EQ(r.racks[1].largest_volume, 48);
+  EXPECT_EQ(r.total_free, 16 + 63);
+  EXPECT_EQ(r.placeable_sum, 16 + 48);
+  EXPECT_GT(r.stranding(), 0.0);
+  EXPECT_DOUBLE_EQ(r.stranding(), 1.0 - (16.0 + 48.0) / (16.0 + 63.0));
+  std::int32_t free_sum = 0;
+  for (RackId rack = 0; rack < config.racks; ++rack) free_sum += alloc.free_in_rack(rack);
+  EXPECT_EQ(free_sum, r.total_free);
+}
+
+// allocate()'s documented total order is a pure function of the chip-state
+// multiset: two allocators whose racks hold identical free/allocated/failed
+// sets place the next slice identically, regardless of the alloc/release
+// history that produced those sets.
+TEST(Allocator, PlacementIsInvariantToAllocationHistory) {
+  ClusterConfig config;
+  config.racks = 3;
+
+  // History A: place in racks 0 and 1, then release the rack-1 slice.
+  TpuCluster ca{config};
+  SliceAllocator a{ca};
+  ASSERT_TRUE(a.allocate_at(0, Coord{{0, 0, 0}}, Shape{{4, 4, 2}}).ok());
+  const auto tmp_a = a.allocate_at(1, Coord{{0, 0, 0}}, Shape{{2, 2, 2}});
+  ASSERT_TRUE(tmp_a.ok());
+  a.release(tmp_a.value());
+
+  // History B: same final state via the opposite order (and an extra
+  // alloc/release pair in rack 2).
+  TpuCluster cb{config};
+  SliceAllocator b{cb};
+  const auto tmp_b = b.allocate_at(1, Coord{{0, 0, 0}}, Shape{{2, 2, 2}});
+  ASSERT_TRUE(tmp_b.ok());
+  const auto tmp_b2 = b.allocate_at(2, Coord{{1, 1, 1}}, Shape{{2, 2, 1}});
+  ASSERT_TRUE(tmp_b2.ok());
+  ASSERT_TRUE(b.allocate_at(0, Coord{{0, 0, 0}}, Shape{{4, 4, 2}}).ok());
+  b.release(tmp_b.value());
+  b.release(tmp_b2.value());
+
+  for (TpuId chip = 0; chip < ca.chip_count(); ++chip) {
+    ASSERT_EQ(ca.state(chip), cb.state(chip)) << "histories diverged at " << chip;
+  }
+
+  // The next placements must now coincide exactly, shape by shape.
+  for (const Shape shape :
+       {Shape{{4, 4, 1}}, Shape{{2, 2, 2}}, Shape{{4, 2, 1}}, Shape{{1, 1, 1}}}) {
+    const auto ia = a.allocate(shape);
+    const auto ib = b.allocate(shape);
+    ASSERT_EQ(ia.ok(), ib.ok());
+    if (!ia.ok()) continue;
+    const Slice* sa = a.slice(ia.value());
+    const Slice* sb = b.slice(ib.value());
+    EXPECT_EQ(sa->rack, sb->rack) << shape.extent[0];
+    EXPECT_EQ(sa->offset, sb->offset);
+    EXPECT_EQ(sa->shape, sb->shape);
+  }
+}
+
 TEST(Figure5, PackingMatchesPaper) {
   TpuCluster cluster;
   SliceAllocator alloc{cluster};
