@@ -17,7 +17,7 @@ namespace {
 using namespace lp;
 using coll::Interconnect;
 
-void print_report() {
+void print_report(bool emit_json) {
   bench::header("Collective sweep: RS / AG / AR / Broadcast, elec vs optics");
   topo::TpuCluster cluster;
   coll::CostParams params;
@@ -33,6 +33,12 @@ void print_report() {
       {"4x4x1", topo::Slice{1, 0, topo::Coord{{0, 0, 2}}, topo::Shape{{4, 4, 1}}}},
       {"4x4x2", topo::Slice{2, 0, topo::Coord{{0, 0, 0}}, topo::Shape{{4, 4, 2}}}},
   };
+
+  bench::JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("collectives");
+  json.key("bytes").value(n.to_bytes());
+  json.key("rows").begin_array();
 
   std::printf("N = %s\n\n", bench::fmt_bytes(n.to_bytes()).c_str());
   std::printf("  slice   primitive     electrical     optical      speedup\n");
@@ -69,11 +75,25 @@ void print_report() {
       std::printf("  %-6s  %-12s  %11s  %11s  %8.2fx\n", sc.name, p.name,
                   bench::fmt_time(e.total.to_seconds()).c_str(),
                   bench::fmt_time(o.total.to_seconds()).c_str(), e.total / o.total);
+      json.begin_object();
+      json.key("slice").value(sc.name);
+      json.key("primitive").value(p.name);
+      json.key("electrical_seconds").value(e.total.to_seconds());
+      json.key("optical_seconds").value(o.total.to_seconds());
+      json.key("speedup").value(e.total / o.total);
+      json.end_object();
     }
   }
+  json.end_array();
+  json.end_object();
   bench::line();
   std::printf("the slice shape, not the primitive, sets the optics gain: ~3x for\n");
   std::printf("one-usable-dim slices, ~1.5x for two, matching Tables 1-2.\n");
+  if (emit_json) {
+    const char* path = "BENCH_collectives.json";
+    std::printf("%s artifact: %s\n", json.write_file(path) ? "wrote" : "FAILED to write",
+                path);
+  }
 }
 
 void BM_BuildAllReduce(benchmark::State& state) {
@@ -124,4 +144,4 @@ BENCHMARK(BM_SimCongestedAllPairs);
 
 }  // namespace
 
-LP_BENCH_MAIN(print_report)
+LP_BENCH_MAIN_JSON(print_report)

@@ -1,10 +1,25 @@
 // The alpha-beta-r cost model for collective communication (paper §4.1).
 //
-// alpha: per-step software overhead of sending a buffer.
+// Units (the audit contract pinned by cost_model_test's hand-computed
+// predictions):
+//
+// alpha: per-step software overhead of sending a buffer.  Seconds per ring
+//        step (a Duration; default 1 us).  A collective's alpha time is
+//        alpha x alpha_steps, where alpha_steps counts the sequential send
+//        posts on the critical path — e.g. sum over stages of
+//        (ring_size - 1) for a ReduceScatter, or m - 1 rounds for an
+//        all-to-all rotation.
 // beta:  transmission delay, inversely proportional to the bandwidth a ring
-//        step can use.
+//        step can use.  Not a stored constant: beta time = bytes-on-the-
+//        critical-path x 8 / bandwidth-in-bits-per-second, i.e. seconds =
+//        DataSize / Bandwidth via transfer_time().  `chip_bandwidth` (B,
+//        default 300 GB/s of egress per chip) is the numerator every
+//        stage's share is carved from.
 // r:     optical reconfiguration latency charged before each optically
-//        redirected ring stage (3.7 us on LIGHTPATH).
+//        redirected ring stage.  Seconds per fabric reprogram (a Duration;
+//        3.7 us on LIGHTPATH — the MZI thermal settling constant from §3,
+//        `CostParams::reconfig`).  Schedules that keep their circuits pay
+//        r once; schedules that re-pair every phase pay r per phase.
 //
 // A collective on a slice is lowered to a *plan*: an ordered list of ring
 // stages (Table 2 shows Slice-3's two stages).  The plan structure is the

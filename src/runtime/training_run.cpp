@@ -30,6 +30,7 @@ struct BucketCosts {
 
 BucketCosts schedule_bucket_costs(const coll::Schedule& schedule) {
   BucketCosts costs;
+  bool leading = true;
   for (const coll::Phase& phase : schedule.phases) {
     Duration longest = Duration::zero();
     for (const coll::Transfer& t : phase.transfers) {
@@ -37,6 +38,11 @@ BucketCosts schedule_bucket_costs(const coll::Schedule& schedule) {
     }
     costs.first += phase.pre_delay + longest;
     costs.steady += longest;
+    // Only the leading phase's pre-delay amortizes away across buckets (the
+    // ring circuits persist); mid-schedule reconfigurations — every phase of
+    // a tree or halving-doubling schedule — recur in steady state too.
+    if (!leading) costs.steady += phase.pre_delay;
+    leading = false;
   }
   return costs;
 }
@@ -48,7 +54,8 @@ TrainingRun::TrainingRun(const RunConfig& config)
       fab_{run_fabric_config()},
       injector_{fab_, config.model, config.seed},
       monitor_{config.health},
-      cache_{fab_} {
+      cache_{fab_},
+      tuner_{coll::TunerParams{.alpha = config.cost.alpha}} {
   // Fiber bundles between wafer 0's east column and wafer 1's west column,
   // one per row, generously sized so fibers are never the binding resource.
   const auto& w = fab_.wafer(0);
@@ -97,8 +104,18 @@ void TrainingRun::rebuild_costs() {
   for (const fabric::GlobalTile& m : members_) {
     ids.push_back(static_cast<topo::TpuId>(m.wafer * tiles + m.tile));
   }
-  schedule_ = coll::build_elastic_ring_schedule(ids, config_.iteration.bucket_bytes,
-                                                rate, reconfig);
+  // The autotuner races ring vs tree vs halving-doubling for the bucket
+  // AllReduce at the surviving topology's rate; at the default 64 MiB
+  // buckets the ring wins (bandwidth-bound), while small-bucket configs and
+  // shrunk rings flip to log-depth schedules.  Decisions are memoized on
+  // (op, size bucket, member fingerprint, fabric epoch), so the post-fault
+  // rebuild re-decides only when the topology actually changed.
+  const coll::Decision pick =
+      tuner_.pick(coll::CollOp::kAllReduce, config_.iteration.bucket_bytes, ids,
+                  rate, reconfig, fab_.epoch());
+  bucket_algo_ = pick.algo;
+  schedule_ = tuner_.build(coll::CollOp::kAllReduce, pick.algo, ids,
+                           config_.iteration.bucket_bytes, rate, reconfig);
   const BucketCosts costs = schedule_bucket_costs(schedule_);
   first_bucket_comm_ = costs.first;
   steady_bucket_comm_ = costs.steady;

@@ -36,6 +36,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "collective/autotuner.hpp"
 #include "collective/cost_model.hpp"
 #include "collective/schedule.hpp"
 #include "core/training_sim.hpp"
@@ -166,6 +167,10 @@ class TrainingRun {
   }
   /// The live collective schedule (rebuilt after every topology change).
   [[nodiscard]] const coll::Schedule& schedule() const { return schedule_; }
+  /// Algorithm the autotuner picked for the live bucket AllReduce.
+  [[nodiscard]] coll::Algorithm bucket_algorithm() const { return bucket_algo_; }
+  /// The collective autotuner (decision cache keyed on the fabric epoch).
+  [[nodiscard]] const coll::Autotuner& tuner() const { return tuner_; }
   /// Faults accumulated over the run (query overlay; never applied).
   [[nodiscard]] const fault::FaultSet& active_faults() const { return cumulative_; }
 
@@ -196,6 +201,11 @@ class TrainingRun {
   /// members_[e] -> members_[(e+1) % n] is circuits_[e].
   std::vector<fabric::GlobalTile> members_;
   std::vector<fabric::CircuitId> circuits_;
+  /// Picks the bucket-AllReduce schedule on every topology change: ring vs
+  /// tree vs halving-doubling, re-decided as the surviving member set and
+  /// circuit rates degrade (the fabric epoch keys its decision cache).
+  coll::Autotuner tuner_;
+  coll::Algorithm bucket_algo_{coll::Algorithm::kRing};
   coll::Schedule schedule_;
   Duration first_bucket_comm_{Duration::zero()};
   Duration steady_bucket_comm_{Duration::zero()};

@@ -8,6 +8,7 @@
 #include <optional>
 #include <vector>
 
+#include "collective/autotuner.hpp"
 #include "routing/plan_cache.hpp"
 #include "sim/event_engine.hpp"
 #include "util/parallel.hpp"
@@ -35,6 +36,8 @@ struct Request {
 
 struct Replica {
   std::vector<GlobalTile> tiles;
+  /// Flat tile ids of `tiles`, the member list the autotuner fingerprints.
+  std::vector<topo::TpuId> ids;
   /// Intra-replica backbone ring (weights/activations plane).  These are
   /// the circuits the health monitor diagnoses and the repair ladder
   /// rebuilds; HostStack traffic rides its own cached circuits.
@@ -57,7 +60,11 @@ class ServingSim {
         monitor_{params.health},
         injector_{fab_, params.fault_model, util::task_seed(params.seed, 0)},
         gen_{params.traffic, params.replicas, params.seed},
-        fault_rng_{util::task_seed(params.seed, 3)} {}
+        fault_rng_{util::task_seed(params.seed, 3)} {
+    tuner_rate_ = fab_.per_wavelength_rate() *
+                  static_cast<double>(params.host.wavelengths_per_circuit);
+    tuner_reconfig_ = fab_.reconfig().settle_latency();
+  }
 
   ServingReport run();
 
@@ -92,6 +99,12 @@ class ServingSim {
   RequestGenerator gen_;
   Rng fault_rng_;
   sim::EventEngine engine_;
+  /// Picks expert-exchange and KV-migration shapes per (size bucket,
+  /// replica fingerprint, fabric epoch).  The rate/reconfig pair below is
+  /// the host-circuit model the picks are evaluated against.
+  coll::Autotuner tuner_;
+  Bandwidth tuner_rate_{Bandwidth::zero()};
+  Duration tuner_reconfig_{Duration::zero()};
 
   std::vector<Replica> replicas_;
   std::vector<double> latencies_;
@@ -108,6 +121,7 @@ void ServingSim::setup_replicas() {
     for (std::int32_t t = 0; t < tiles; ++t) {
       rep.tiles.push_back(GlobalTile{
           0, wafer.tile_at({static_cast<std::int32_t>(r), t})});
+      rep.ids.push_back(static_cast<topo::TpuId>(rep.tiles.back().tile));
     }
     // Ring circuits t -> t+1 (the wrap link routes back across the row).
     for (std::size_t t = 0; t < rep.tiles.size(); ++t) {
@@ -186,21 +200,50 @@ void ServingSim::admit(std::size_t r) {
     Request q = rep.queue.front();
     rep.queue.pop_front();
     if (q.migrate) {
-      // Pull the KV cache from the prefill host before decoding: one bulk
-      // transfer between the two replicas' lead tiles through the host
-      // stack (a miss here pays reconfiguration r, and under churn it is a
-      // miss — that is the point).
+      // Pull the KV cache from the prefill host before decoding.  The
+      // autotuner decides the transfer shape: small prompts go as one bulk
+      // lead-tile send, large ones stripe across parallel tile-pair
+      // circuits (each stripe a cached host circuit; a miss pays
+      // reconfiguration r, and under churn it is a miss — that is the
+      // point).
       ++report_.kv_migrations;
+      const Replica& src = replicas_[q.prefill_replica];
       const DataSize bytes =
           params_.traffic.kv_bytes_per_token *
           static_cast<double>(q.prefill_tokens);
-      const auto sent = host_.send(replicas_[q.prefill_replica].tiles[0],
-                                   rep.tiles[0], bytes);
-      if (sent.ok()) {
-        q.extra = sent.value().to_seconds();
-        q.prefill_left = 0;  // prefill already ran remotely
+      const coll::Decision pick = tuner_.pick(
+          coll::CollOp::kTransfer, bytes, {src.ids[0], rep.ids[0]}, tuner_rate_,
+          tuner_reconfig_, fab_.epoch());
+      const auto ways = static_cast<std::uint32_t>(
+          std::min<std::size_t>(tuner_.params().stripe_ways,
+                                std::min(src.tiles.size(), rep.tiles.size())));
+      if (pick.algo == coll::Algorithm::kStriped && ways > 1) {
+        ++report_.kv_striped;
+        const DataSize per_stripe = bytes / static_cast<double>(ways);
+        double extra = 0.0;
+        bool ok = true;
+        for (std::uint32_t i = 0; i < ways && ok; ++i) {
+          const auto sent = host_.send(src.tiles[i], rep.tiles[i], per_stripe);
+          if (sent.ok()) {
+            extra = std::max(extra, sent.value().to_seconds());
+          } else {
+            ok = false;
+          }
+        }
+        if (ok) {
+          q.extra = extra;  // stripes land in parallel; slowest one gates
+          q.prefill_left = 0;
+        } else {
+          ++report_.send_failures;  // fabric too broken to migrate: re-prefill
+        }
       } else {
-        ++report_.send_failures;  // fabric too broken to migrate: re-prefill
+        const auto sent = host_.send(src.tiles[0], rep.tiles[0], bytes);
+        if (sent.ok()) {
+          q.extra = sent.value().to_seconds();
+          q.prefill_left = 0;  // prefill already ran remotely
+        } else {
+          ++report_.send_failures;  // fabric too broken to migrate: re-prefill
+        }
       }
     }
     rep.batch.push_back(q);
@@ -231,20 +274,32 @@ void ServingSim::round(std::size_t r) {
   ++report_.rounds;
   const double active = static_cast<double>(rep.batch.size());
 
-  // MoE expert all-to-all: every tile exchanges its shard with a rotating
-  // partner; the round waits for the slowest exchange.  Steady state hits
-  // the circuit cache; after fault-driven flushes each send re-plans and
-  // pays r, which is how churn reaches the latency tail.
+  // MoE expert all-to-all: every tile exchanges its shard each round; the
+  // round waits for the slowest exchange.  The autotuner picks the pattern
+  // from the per-rotation-cycle exchange volume: rotation (fresh partner
+  // each round — re-pairing circuit churn, lean bytes) vs the standing
+  // next-neighbor ring (one pairing forever, this round's shard forwarded
+  // `offset` hops, so bytes inflate by the hop count).  Steady state hits
+  // the circuit cache either way; after fault-driven flushes each send
+  // re-plans and pays r, which is how churn reaches the latency tail.
   double comm = 0.0;
   const DataSize per_tile =
       params_.traffic.expert_bytes_per_token *
       (active / static_cast<double>(rep.tiles.size()));
-  const std::uint32_t offset =
-      1 + rep.rotation % std::max(params_.expert_peers, 1u);
+  const std::uint32_t peers = std::max(params_.expert_peers, 1u);
+  const coll::Decision pick = tuner_.pick(
+      coll::CollOp::kAllToAll, per_tile * static_cast<double>(peers),
+      rep.ids, tuner_rate_, tuner_reconfig_, fab_.epoch());
+  const std::uint32_t offset = 1 + rep.rotation % peers;
+  const bool ring = pick.algo == coll::Algorithm::kRing;
+  if (ring) ++report_.expert_ring_rounds;
+  const std::size_t hop = ring ? 1 : offset;
+  const DataSize per_send =
+      ring ? per_tile * static_cast<double>(offset) : per_tile;
   for (std::size_t t = 0; t < rep.tiles.size(); ++t) {
-    const std::size_t peer = (t + offset) % rep.tiles.size();
+    const std::size_t peer = (t + hop) % rep.tiles.size();
     ++report_.expert_sends;
-    const auto sent = host_.send(rep.tiles[t], rep.tiles[peer], per_tile);
+    const auto sent = host_.send(rep.tiles[t], rep.tiles[peer], per_send);
     if (sent.ok()) {
       comm = std::max(comm, sent.value().to_seconds());
     } else {
@@ -398,6 +453,8 @@ ServingReport ServingSim::run() {
   d = fabric::hash_mix(d, report_.fault_events);
   d = fabric::hash_mix(d, report_.repairs);
   d = fabric::hash_mix(d, report_.repair_failures);
+  d = fabric::hash_mix(d, report_.expert_ring_rounds);
+  d = fabric::hash_mix(d, report_.kv_striped);
   d = fabric::hash_mix(d, fab_.ledger_digest());
   report_.digest = d;
   report_.latencies = std::move(latencies_);

@@ -93,6 +93,13 @@ struct ServingReport {
   std::uint64_t kv_migrations{0};
   std::uint64_t expert_sends{0};
   std::uint64_t send_failures{0};
+  /// Decode rounds whose expert exchange the collective autotuner routed
+  /// over the standing next-neighbor circuits (store-and-forward ring)
+  /// instead of a rotating pairing; rounds - expert_ring_rounds rotated.
+  std::uint64_t expert_ring_rounds{0};
+  /// KV migrations the autotuner striped across parallel tile-pair
+  /// circuits; kv_migrations - kv_striped went as one bulk transfer.
+  std::uint64_t kv_striped{0};
 
   std::uint64_t fault_events{0};
   std::uint64_t detections{0};

@@ -2,6 +2,7 @@
 // bandwidth-utilization claims (Figure 5c).
 #include <gtest/gtest.h>
 
+#include "collective/autotuner.hpp"
 #include "collective/cost_model.hpp"
 #include "topo/slice.hpp"
 
@@ -318,6 +319,75 @@ TEST(Cost, PerStageFullStrategyBeatsStaticSplit) {
   const auto full = reduce_scatter_cost(plan, n, Interconnect::kOptical, p,
                                         RedirectStrategy::kPerStageFull);
   EXPECT_LT(full.beta_time.to_seconds(), split.beta_time.to_seconds());
+}
+
+// --- Unit audit --------------------------------------------------------------
+//
+// Hand-computed pins of the alpha-beta-r units documented in cost_model.hpp,
+// checked against the autotuner's closed forms.  Chosen numbers make every
+// term exact in binary floating point: rate 32 GB/s, power-of-two buffers.
+//
+//   alpha = 1 us per posted send step (software overhead, a Duration)
+//   beta  = DataSize / Bandwidth via transfer_time (no stored constant)
+//   r     = 3.7 us per fabric reprogram (MZI settle, Duration)
+
+TEST(UnitAudit, RingAllReducePinnedByHand) {
+  // m = 8, n = 8 MiB at 32 GB/s.  Ring AllReduce: 2 (m-1) alpha steps, one
+  // reconfiguration (circuits persist), 2 (m-1) wire steps of n/m bytes.
+  //   T(n/m) = 1 MiB / 32 GB/s = 1048576 / 32e9 s = 32.768 us
+  //   total  = 14 x 1 us + 3.7 us + 14 x 32.768 us = 476.452 us
+  const Autotuner tuner;  // alpha defaults to 1 us
+  const Duration got =
+      tuner.predict(CollOp::kAllReduce, Algorithm::kRing, 8, DataSize::mib(8),
+                    Bandwidth::gBps(32.0), Duration::micros(3.7));
+  EXPECT_NEAR(got.to_seconds(), 476.452e-6, 1e-12);
+}
+
+TEST(UnitAudit, RingReduceScatterPinnedByHand) {
+  // Half the AllReduce: 7 alpha steps + r + 7 x T(1 MiB) = 7 + 3.7 +
+  // 229.376 = 240.076 us.
+  const Autotuner tuner;
+  const Duration got =
+      tuner.predict(CollOp::kReduceScatter, Algorithm::kRing, 8, DataSize::mib(8),
+                    Bandwidth::gBps(32.0), Duration::micros(3.7));
+  EXPECT_NEAR(got.to_seconds(), 240.076e-6, 1e-12);
+}
+
+TEST(UnitAudit, AllToAllRotationPinnedByHand) {
+  // m = 5, each member scatters n = 4 MiB total.  Rotation: 4 rounds, each
+  // re-pairing (alpha + r) and moving n/4 = 1 MiB:
+  //   4 x (1 + 3.7 + 32.768) us = 149.872 us
+  const Autotuner tuner;
+  const Duration got =
+      tuner.predict(CollOp::kAllToAll, Algorithm::kRotation, 5, DataSize::mib(4),
+                    Bandwidth::gBps(32.0), Duration::micros(3.7));
+  EXPECT_NEAR(got.to_seconds(), 149.872e-6, 1e-12);
+}
+
+TEST(UnitAudit, AllToAllRingPinnedByHand) {
+  // Same exchange on the standing ring: one reconfiguration, but every one
+  // of the 4 store-and-forward phases carries the inflated per-link load
+  // n m / (2 (m-1)) = 4 MiB x 5/8 = 2.5 MiB:
+  //   4 x 1 us + 3.7 us + 4 x 81.92 us = 335.38 us
+  const Autotuner tuner;
+  const Duration got =
+      tuner.predict(CollOp::kAllToAll, Algorithm::kRing, 5, DataSize::mib(4),
+                    Bandwidth::gBps(32.0), Duration::micros(3.7));
+  EXPECT_NEAR(got.to_seconds(), 335.38e-6, 1e-12);
+}
+
+TEST(UnitAudit, BetaScalesInverselyWithBandwidth) {
+  // Doubling the circuit rate must halve exactly the beta term and leave
+  // alpha and r untouched — the units are independent.
+  const Autotuner tuner;
+  const DataSize n = DataSize::mib(8);
+  const Duration r = Duration::micros(3.7);
+  const Duration slow =
+      tuner.predict(CollOp::kAllReduce, Algorithm::kRing, 8, n, Bandwidth::gBps(16.0), r);
+  const Duration fast =
+      tuner.predict(CollOp::kAllReduce, Algorithm::kRing, 8, n, Bandwidth::gBps(32.0), r);
+  const Duration alpha_r = Duration::micros(14.0 + 3.7);
+  EXPECT_NEAR((slow - alpha_r).to_seconds(), 2.0 * (fast - alpha_r).to_seconds(), 1e-12);
 }
 
 }  // namespace

@@ -1,8 +1,12 @@
-// Tests for the AllGather / AllReduce / Broadcast schedules and the
-// crosstalk model.
+// Tests for the AllGather / AllReduce / Broadcast schedules, the tree /
+// halving group schedules on arbitrary survivor sets, and the crosstalk
+// model.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "collective/extra_schedules.hpp"
+#include "collective/group_schedules.hpp"
 #include "phys/crosstalk.hpp"
 #include "phys/link_budget.hpp"
 #include "sim/flow_sim.hpp"
@@ -106,6 +110,137 @@ TEST_F(Schedules, BroadcastZeroChunksEmpty) {
   const auto schedule = coll::build_broadcast_schedule(
       cluster_, slice1_, n_, 0, Interconnect::kElectrical, params_);
   EXPECT_TRUE(schedule.phases.empty());
+}
+
+// --- Group schedules on non-power-of-two survivor sets -----------------------
+//
+// The autotuner's tree/halving candidates must stay correct on *whatever
+// chips survive* — the same contract build_elastic_ring_schedule honors.
+// These tests pin the phase structure and byte conservation on m = 7
+// (fold + power-of-two core) and on the degenerate 2- and 3-member groups
+// a badly shrunk ring can reach.
+
+class GroupSchedules : public ::testing::Test {
+ protected:
+  static std::vector<topo::TpuId> survivors(std::size_t m) {
+    // Deliberately non-contiguous ids: builders must index the member
+    // list, never assume dense ranks.
+    std::vector<topo::TpuId> ids;
+    for (std::size_t i = 0; i < m; ++i) ids.push_back(static_cast<topo::TpuId>(40 + 3 * i));
+    return ids;
+  }
+
+  static void expect_transfers_stay_in_group(const coll::Schedule& s,
+                                             const std::vector<topo::TpuId>& members) {
+    const std::set<topo::TpuId> in_group{members.begin(), members.end()};
+    for (const auto& phase : s.phases) {
+      for (const auto& t : phase.transfers) {
+        EXPECT_TRUE(in_group.count(t.src)) << "src " << t.src << " not a survivor";
+        EXPECT_TRUE(in_group.count(t.dst)) << "dst " << t.dst << " not a survivor";
+        EXPECT_NE(t.src, t.dst);
+        EXPECT_TRUE(t.is_optical());
+      }
+    }
+  }
+
+  Bandwidth rate_ = Bandwidth::gBps(37.5);  // 1-lambda elastic-bridge rate
+  Duration r_ = Duration::micros(3.7);
+  DataSize n_ = DataSize::mib(8);
+};
+
+TEST_F(GroupSchedules, TreeBroadcastNonPowerOfTwoStructure) {
+  const auto members = survivors(7);
+  const auto s = coll::build_tree_broadcast_schedule(members, n_, rate_, r_);
+  ASSERT_EQ(s.phases.size(), 3u);  // ceil(log2 7)
+  // Informed set doubles (saturating): 1, 2, then 3 senders into the tail.
+  EXPECT_EQ(s.phases[0].transfers.size(), 1u);
+  EXPECT_EQ(s.phases[1].transfers.size(), 2u);
+  EXPECT_EQ(s.phases[2].transfers.size(), 3u);
+  // Fresh pairing every phase: each one pays the reconfiguration.
+  for (const auto& p : s.phases) EXPECT_EQ(p.pre_delay, r_);
+  // Byte conservation: every non-root member receives the buffer once.
+  EXPECT_NEAR(s.total_bytes().to_bytes(), 6.0 * n_.to_bytes(), 1.0);
+  expect_transfers_stay_in_group(s, members);
+}
+
+TEST_F(GroupSchedules, HalvingReduceScatterFoldsExtras) {
+  // m = 7 = 2^2 + 3: one fold pre-phase (3 extras push full buffers onto
+  // the core), then K = 2 exchange phases of n/2 and n/4.
+  const auto members = survivors(7);
+  const auto s = coll::build_halving_reduce_scatter_schedule(members, n_, rate_, r_);
+  ASSERT_EQ(s.phases.size(), 3u);
+  EXPECT_EQ(s.phases[0].transfers.size(), 3u);  // fold: the extras
+  EXPECT_EQ(s.phases[1].transfers.size(), 4u);  // pairwise exchange on the core
+  EXPECT_EQ(s.phases[2].transfers.size(), 4u);
+  EXPECT_NEAR(s.phases[0].transfers[0].bytes.to_bytes(), n_.to_bytes(), 1.0);
+  EXPECT_NEAR(s.phases[1].transfers[0].bytes.to_bytes(), n_.to_bytes() / 2.0, 1.0);
+  EXPECT_NEAR(s.phases[2].transfers[0].bytes.to_bytes(), n_.to_bytes() / 4.0, 1.0);
+  // 3n fold + 4(n/2) + 4(n/4) = 6n = (m-1) n.
+  EXPECT_NEAR(s.total_bytes().to_bytes(), 6.0 * n_.to_bytes(), 1.0);
+  expect_transfers_stay_in_group(s, members);
+}
+
+TEST_F(GroupSchedules, AllReduceAlgorithmsConserveBytes) {
+  // Every AllReduce lowering moves exactly 2 (m-1) n bytes in total —
+  // ring, tree, and halving-doubling agree on any survivor count.
+  for (const std::size_t m : {2u, 3u, 5u, 7u, 12u}) {
+    const auto members = survivors(m);
+    const double want = 2.0 * static_cast<double>(m - 1) * n_.to_bytes();
+    const auto ring = coll::build_elastic_ring_schedule(members, n_, rate_, r_);
+    const auto tree = coll::build_tree_all_reduce_schedule(members, n_, rate_, r_);
+    const auto hd =
+        coll::build_halving_doubling_all_reduce_schedule(members, n_, rate_, r_);
+    EXPECT_NEAR(ring.total_bytes().to_bytes(), want, 1.0) << "ring m=" << m;
+    EXPECT_NEAR(tree.total_bytes().to_bytes(), want, 1.0) << "tree m=" << m;
+    EXPECT_NEAR(hd.total_bytes().to_bytes(), want, 1.0) << "hd m=" << m;
+    expect_transfers_stay_in_group(tree, members);
+    expect_transfers_stay_in_group(hd, members);
+  }
+}
+
+TEST_F(GroupSchedules, DegenerateTwoAndThreeMemberGroups) {
+  // m = 2: no fold, a single pairwise exchange (halving) or a single
+  // full-buffer send (tree).
+  const auto two = survivors(2);
+  const auto rs2 = coll::build_halving_reduce_scatter_schedule(two, n_, rate_, r_);
+  ASSERT_EQ(rs2.phases.size(), 1u);
+  EXPECT_EQ(rs2.phases[0].transfers.size(), 2u);
+  EXPECT_NEAR(rs2.total_bytes().to_bytes(), n_.to_bytes(), 1.0);
+  const auto bc2 = coll::build_tree_broadcast_schedule(two, n_, rate_, r_);
+  ASSERT_EQ(bc2.phases.size(), 1u);
+  EXPECT_EQ(bc2.phases[0].transfers.size(), 1u);
+
+  // m = 3 = 2^1 + 1: fold + one exchange phase.
+  const auto three = survivors(3);
+  const auto rs3 = coll::build_halving_reduce_scatter_schedule(three, n_, rate_, r_);
+  ASSERT_EQ(rs3.phases.size(), 2u);
+  EXPECT_EQ(rs3.phases[0].transfers.size(), 1u);
+  EXPECT_EQ(rs3.phases[1].transfers.size(), 2u);
+  EXPECT_NEAR(rs3.total_bytes().to_bytes(), 2.0 * n_.to_bytes(), 1.0);
+  const auto ar3 = coll::build_halving_doubling_all_reduce_schedule(three, n_, rate_, r_);
+  ASSERT_EQ(ar3.phases.size(), 4u);  // fold, exchange, exchange, unfold
+  EXPECT_NEAR(ar3.total_bytes().to_bytes(), 4.0 * n_.to_bytes(), 1.0);
+
+  // Fewer than two members: nothing to exchange.
+  EXPECT_TRUE(coll::build_tree_broadcast_schedule(survivors(1), n_, rate_, r_)
+                  .phases.empty());
+  EXPECT_TRUE(coll::build_halving_doubling_all_reduce_schedule(survivors(0), n_, rate_, r_)
+                  .phases.empty());
+}
+
+TEST_F(GroupSchedules, GatherMirrorsScatterOnSurvivorSets) {
+  // The doubling AllGather is the halving ReduceScatter run backwards:
+  // same phase count, same total bytes, small shards first.
+  for (const std::size_t m : {3u, 7u, 12u}) {
+    const auto members = survivors(m);
+    const auto rs = coll::build_halving_reduce_scatter_schedule(members, n_, rate_, r_);
+    const auto ag = coll::build_doubling_all_gather_schedule(members, n_, rate_, r_);
+    EXPECT_EQ(ag.phases.size(), rs.phases.size()) << "m=" << m;
+    EXPECT_NEAR(ag.total_bytes().to_bytes(), rs.total_bytes().to_bytes(), 1.0);
+    ASSERT_FALSE(ag.phases.empty());
+    EXPECT_LT(ag.phases.front().transfers[0].bytes.to_bytes(),
+              ag.phases.back().transfers[0].bytes.to_bytes());
+  }
 }
 
 // --- Crosstalk ---------------------------------------------------------------
