@@ -49,6 +49,8 @@ void print_report(bench::JsonWriter* jw) {
         jw->key("policy").value(name(policy));
         jw->key("failures").value(report.failures);
         jw->key("unrecovered").value(report.unrecovered);
+        jw->key("unrecovered_spare_exhausted").value(report.unrecovered_spare_exhausted);
+        jw->key("unrecovered_plan_failure").value(report.unrecovered_plan_failure);
         jw->key("chip_hours_lost").value(report.chip_hours_lost);
         jw->key("availability").value(report.availability);
         jw->end_object();
@@ -81,6 +83,8 @@ void print_component_report(bench::JsonWriter* jw) {
       jw->key("faults_injected").value(report.faults_injected);
       jw->key("degraded_circuits").value(report.degraded_circuits);
       jw->key("unrecovered").value(report.unrecovered);
+      jw->key("unrecovered_transient").value(report.unrecovered_transient);
+      jw->key("transient_repair_failures").value(report.transient_repair_failures);
       jw->key("recovered_by").begin_array();
       for (std::size_t k = 0; k < routing::kRepairRungCount; ++k) {
         jw->value(report.recovered_by[k]);
@@ -117,6 +121,45 @@ void print_component_report(bench::JsonWriter* jw) {
   std::printf("rack-migration rung, and they set the availability floor.\n");
 }
 
+void print_transient_report(bench::JsonWriter* jw) {
+  bench::header("Gray repairs: transient MZI settle failures + retry-with-backoff");
+  std::printf("same component study, but each programming attempt fails\n");
+  std::printf("transiently with probability p and retries after 50 us backoff\n");
+  std::printf("(deterministic 50%% jitter).\n\n");
+  std::printf("  %-8s %10s %12s %14s %14s\n", "p", "degraded", "transients",
+              "unrec(trans)", "availability");
+
+  if (jw != nullptr) jw->key("transient_retry_sweep").begin_array();
+  for (const double p : {0.0, 0.2, 0.4}) {
+    core::ComponentStudyParams params;
+    params.component_mtbf_hours = 25000.0;
+    params.settle_failure_probability = p;
+    params.backoff.base = Duration::micros(50.0);
+    params.backoff.jitter_fraction = 0.5;
+    const auto report = core::run_component_fault_study(params);
+    std::printf("  %-8.2f %10llu %12llu %8llu/%-5llu %13.5f%%\n", p,
+                static_cast<unsigned long long>(report.degraded_circuits),
+                static_cast<unsigned long long>(report.transient_repair_failures),
+                static_cast<unsigned long long>(report.unrecovered_transient),
+                static_cast<unsigned long long>(report.unrecovered),
+                100.0 * report.availability);
+    if (jw != nullptr) {
+      jw->begin_object();
+      jw->key("settle_failure_probability").value(p);
+      jw->key("degraded_circuits").value(report.degraded_circuits);
+      jw->key("transient_repair_failures").value(report.transient_repair_failures);
+      jw->key("unrecovered").value(report.unrecovered);
+      jw->key("unrecovered_transient").value(report.unrecovered_transient);
+      jw->key("availability").value(report.availability);
+      jw->end_object();
+    }
+  }
+  if (jw != nullptr) jw->end_array();
+  bench::line();
+  std::printf("transient settle failures cost retries, not availability: backoff\n");
+  std::printf("rides them out and the ladder still recovers the circuit.\n");
+}
+
 void print_all_reports(bool emit_json) {
   bench::JsonWriter jw;
   bench::JsonWriter* out = emit_json ? &jw : nullptr;
@@ -126,6 +169,7 @@ void print_all_reports(bool emit_json) {
   }
   print_report(out);
   print_component_report(out);
+  print_transient_report(out);
   if (out != nullptr) {
     jw.end_object();
     const char* path = "BENCH_availability.json";

@@ -1,0 +1,237 @@
+// Gray-failure tolerance: goodput/SLO vs flap rate, hysteresis+backoff vs
+// naive repair-on-every-transition.
+//
+// The availability and resilience benches assume fail-stop faults; this one
+// asks the harder question — does fast optical reconfiguration still win
+// when the fabric lies?  A flapping transceiver (fault/gray.hpp) dips for
+// milliseconds and recovers; the naive controller climbs the repair ladder
+// on every transition (each climb thrashes: all programming attempts inside
+// a dip fail transiently) and eventually misclassifies the flapper as dead,
+// paying a rollback respare.  The dampened controller (fault/health.hpp
+// FlapDamper) quarantines the flapper after a few dips and rides the rest
+// out, then the serving and cluster layers show the same contrast on SLO
+// attainment and morph placement.
+//
+// --json additionally writes BENCH_gray_failures.json.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "cluster/scheduler.hpp"
+#include "fault/gray.hpp"
+#include "serve/serving_sim.hpp"
+#include "runtime/training_run.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lp;
+
+runtime::GraySweepConfig sweep_config() {
+  runtime::GraySweepConfig config;
+  // Flap-only regime: permanent faults off so the sweep isolates the gray
+  // layer; a 50 us backoff base with 50% deterministic jitter desynchronizes
+  // retry storms inside each dip.
+  config.base.iterations = 400;
+  config.base.mtbf_hours = 1e9;
+  config.base.recovery.rung_backoff.base = Duration::micros(50.0);
+  config.base.recovery.rung_backoff.jitter_fraction = 0.5;
+  config.trials = 3;
+  return config;
+}
+
+void print_sweep(bench::JsonWriter* jw) {
+  const auto config = sweep_config();
+  bench::header("Goodput vs flap rate: quarantine hysteresis vs naive repair");
+  std::printf("56-chip training ring, %u iterations/run, %u trials/point;\n",
+              config.base.iterations, config.trials);
+  std::printf(
+      "both arms of a trial face the identical flap-episode timeline.\n\n");
+  std::printf("  %-10s %-12s %9s %9s %9s %7s %7s %7s %7s\n", "flaps/h",
+              "controller", "goodput", "min", "max", "thrash", "suppr",
+              "quarant", "miscls");
+
+  const runtime::GraySweepReport report = runtime::run_gray_sweep(config);
+  if (jw != nullptr) jw->key("sweep").begin_array();
+  for (const runtime::GrayPointReport& pt : report.points) {
+    std::printf("  %-10.1f %-12s %9.5f %9.5f %9.5f %7llu %7llu %7llu %7llu\n",
+                pt.flap_rate_per_hour, pt.hysteresis ? "hysteresis" : "naive",
+                pt.goodput_mean, pt.goodput_min, pt.goodput_max,
+                static_cast<unsigned long long>(pt.flap_repairs),
+                static_cast<unsigned long long>(pt.suppressed_repairs),
+                static_cast<unsigned long long>(pt.quarantines),
+                static_cast<unsigned long long>(pt.misclassifications));
+    if (jw != nullptr) {
+      jw->begin_object();
+      jw->key("flap_rate_per_hour").value(pt.flap_rate_per_hour);
+      jw->key("hysteresis").value(pt.hysteresis);
+      jw->key("goodput_mean").value(pt.goodput_mean);
+      jw->key("goodput_min").value(pt.goodput_min);
+      jw->key("goodput_max").value(pt.goodput_max);
+      jw->key("flap_episodes").value(pt.flap_episodes);
+      jw->key("flap_transitions").value(pt.flap_transitions);
+      jw->key("flap_repairs").value(pt.flap_repairs);
+      jw->key("suppressed_repairs").value(pt.suppressed_repairs);
+      jw->key("quarantines").value(pt.quarantines);
+      jw->key("probations").value(pt.probations);
+      jw->key("relapses").value(pt.relapses);
+      jw->key("misclassifications").value(pt.misclassifications);
+      jw->key("rollbacks").value(pt.rollbacks);
+      jw->key("transient_repair_failures").value(pt.transient_repair_failures);
+      jw->key("ber_bursts").value(pt.ber_bursts);
+      jw->key("flap_stall_seconds").value(pt.flap_stall_seconds);
+      jw->key("ber_slowdown_seconds").value(pt.ber_slowdown_seconds);
+      jw->end_object();
+    }
+  }
+  if (jw != nullptr) jw->end_array();
+
+  // The acceptance check, printed so a regression is visible in the log:
+  // hysteresis+backoff must sustain strictly higher goodput at every flap
+  // rate (points come in hysteresis/naive pairs).
+  bool hysteresis_wins = true;
+  for (std::size_t i = 0; i + 1 < report.points.size(); i += 2) {
+    if (report.points[i].goodput_mean <= report.points[i + 1].goodput_mean) {
+      hysteresis_wins = false;
+    }
+  }
+  bench::line();
+  std::printf("hysteresis strictly above naive at every flap rate: %s\n",
+              hysteresis_wins ? "yes" : "NO (regression!)");
+  std::printf("sweep digest: %016llx  (bit-identical for any LIGHTPATH_THREADS)\n",
+              static_cast<unsigned long long>(report.digest()));
+  if (jw != nullptr) {
+    jw->key("hysteresis_strictly_higher").value(hysteresis_wins);
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(report.digest()));
+    jw->key("sweep_digest").value(buf);
+  }
+}
+
+void print_serving(bench::JsonWriter* jw) {
+  bench::header("Serving under a flap storm: SLO attainment per controller");
+  if (jw != nullptr) jw->key("serving").begin_array();
+  for (const bool hysteresis : {false, true}) {
+    serve::ServingParams params;
+    params.traffic.arrival_rate = 40000.0;
+    params.mtbf_hours = 0.0;  // isolate the gray layer
+    params.flap_rate_per_hour = 40000.0;  // accelerated: ms-scale horizon
+    params.gray_hysteresis = hysteresis;
+    params.recovery.rung_backoff.base = Duration::micros(50.0);
+    params.recovery.rung_backoff.jitter_fraction = 0.5;
+    const serve::ServingReport r = serve::run_serving(params);
+    std::printf(
+        "  %-12s SLO %.4f  p99 %s  thrash %llu  suppressed %llu  "
+        "quarantines %llu  stall %s\n",
+        hysteresis ? "hysteresis" : "naive", r.slo_attainment(),
+        bench::fmt_time(r.p99.to_seconds()).c_str(),
+        static_cast<unsigned long long>(r.flap_repairs),
+        static_cast<unsigned long long>(r.suppressed_repairs),
+        static_cast<unsigned long long>(r.quarantines),
+        bench::fmt_time(r.flap_stall.to_seconds()).c_str());
+    if (jw != nullptr) {
+      jw->begin_object();
+      jw->key("hysteresis").value(hysteresis);
+      jw->key("slo_attainment").value(r.slo_attainment());
+      jw->key("p99_seconds").value(r.p99.to_seconds());
+      jw->key("flap_episodes").value(r.flap_episodes);
+      jw->key("flap_transitions").value(r.flap_transitions);
+      jw->key("flap_repairs").value(r.flap_repairs);
+      jw->key("suppressed_repairs").value(r.suppressed_repairs);
+      jw->key("quarantines").value(r.quarantines);
+      jw->key("transient_repair_failures").value(r.transient_repair_failures);
+      jw->key("flap_stall_seconds").value(r.flap_stall.to_seconds());
+      jw->end_object();
+    }
+  }
+  if (jw != nullptr) jw->end_array();
+  bench::line();
+  std::printf("naive thrashes the ladder (and flushes the circuit cache) on\n");
+  std::printf("every transition; the damper rides the dips out quarantined.\n");
+}
+
+void print_cluster(bench::JsonWriter* jw) {
+  bench::header("Cluster scheduler: morphs deferred off flapping chips");
+  if (jw != nullptr) jw->key("cluster").begin_array();
+  for (const bool hysteresis : {false, true}) {
+    cluster::ClusterParams params;
+    params.horizon = Duration::seconds(120.0);
+    params.drain = Duration::seconds(120.0);
+    params.mtbf_hours = 1.0;
+    params.flap_rate_per_hour = 240.0;  // per flapping chip, accelerated
+    params.gray_hysteresis = hysteresis;
+    params.damper.quarantine_threshold = 2.0;
+    params.damper.half_life_seconds = 60.0;
+    const cluster::ClusterReport r = cluster::run_cluster(params);
+    std::printf(
+        "  %-12s accepted %.4f  flaps %llu  thrash %llu  suppressed %llu  "
+        "quarantines %llu  deferrals %llu\n",
+        hysteresis ? "hysteresis" : "naive", r.accepted_load(),
+        static_cast<unsigned long long>(r.flap_events),
+        static_cast<unsigned long long>(r.flap_repairs),
+        static_cast<unsigned long long>(r.suppressed_repairs),
+        static_cast<unsigned long long>(r.chip_quarantines),
+        static_cast<unsigned long long>(r.morph_deferrals));
+    if (jw != nullptr) {
+      jw->begin_object();
+      jw->key("hysteresis").value(hysteresis);
+      jw->key("accepted_load").value(r.accepted_load());
+      jw->key("flap_events").value(r.flap_events);
+      jw->key("flap_repairs").value(r.flap_repairs);
+      jw->key("suppressed_repairs").value(r.suppressed_repairs);
+      jw->key("chip_quarantines").value(r.chip_quarantines);
+      jw->key("chip_probations").value(r.chip_probations);
+      jw->key("morph_deferrals").value(r.morph_deferrals);
+      jw->end_object();
+    }
+  }
+  if (jw != nullptr) jw->end_array();
+  bench::line();
+  std::printf("harvest and respare skip chips the damper still holds in\n");
+  std::printf("quarantine or probation: morphs land on stable hardware.\n");
+}
+
+void print_all(bool emit_json) {
+  bench::JsonWriter jw;
+  bench::JsonWriter* out = emit_json ? &jw : nullptr;
+  if (out != nullptr) {
+    jw.begin_object();
+    jw.key("bench").value("gray_failures");
+  }
+  print_sweep(out);
+  print_serving(out);
+  print_cluster(out);
+  if (out != nullptr) {
+    jw.end_object();
+    const char* path = "BENCH_gray_failures.json";
+    std::printf("%s %s\n", jw.write_file(path) ? "wrote" : "FAILED to write", path);
+  }
+}
+
+void BM_GrayEpisodeSample(benchmark::State& state) {
+  fabric::Fabric fab{fabric::FabricConfig{}};
+  fault::FaultInjector injector{fab, {}, 7};
+  Rng rng{42};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(injector.sample_gray_at(rng, {}, {0, 5},
+                                                     fabric::Direction::kEast));
+  }
+}
+BENCHMARK(BM_GrayEpisodeSample);
+
+void BM_GraySweepPoint(benchmark::State& state) {
+  runtime::GraySweepConfig config;
+  config.base.iterations = 50;
+  config.base.mtbf_hours = 1e9;
+  config.flap_rates_per_hour = {8.0};
+  config.trials = 1;
+  config.threads = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime::run_gray_sweep(config));
+  }
+}
+BENCHMARK(BM_GraySweepPoint);
+
+}  // namespace
+
+LP_BENCH_MAIN_JSON(print_all)

@@ -67,6 +67,9 @@ void print_sweep(bench::JsonWriter* jw) {
       jw->key("rollbacks").value(pt.rollbacks);
       jw->key("elastic_shrinks").value(pt.elastic_shrinks);
       jw->key("migrations").value(pt.migrations);
+      jw->key("transient_repair_failures").value(pt.transient_repair_failures);
+      jw->key("suppressed_repairs").value(pt.suppressed_repairs);
+      jw->key("quarantines").value(pt.quarantines);
       jw->key("recovered_by").begin_array();
       for (const std::uint64_t n : pt.recovered_by) jw->value(n);
       jw->end_array();

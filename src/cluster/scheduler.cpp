@@ -40,7 +40,10 @@ ClusterScheduler::ClusterScheduler(const ClusterParams& params)
       attrs_{util::task_seed(params.seed, 1)},
       fault_clock_{util::task_seed(params.seed, 2)},
       fault_body_{util::task_seed(params.seed, 3)},
-      victims_{util::task_seed(params.seed, 4)} {
+      victims_{util::task_seed(params.seed, 4)},
+      gray_clock_{util::task_seed(params.seed, 5)},
+      gray_victims_{util::task_seed(params.seed, 6)},
+      damper_{params.damper} {
   if (params_.mix.empty()) params_.mix = default_mix();
   const auto chips = static_cast<std::size_t>(cluster_.chip_count());
   chip_owner_.assign(chips, -1);
@@ -99,6 +102,23 @@ Duration ClusterScheduler::detection_delay(TimePoint at) const {
   const double t = at.to_seconds();
   return Duration::seconds(std::ceil(t / hb) * hb - t) +
          params_.recovery.detection_latency;
+}
+
+double ClusterScheduler::gray_rate() const {
+  const auto chips = static_cast<std::uint64_t>(cluster_.chip_count());
+  const std::uint64_t flappy =
+      params_.flappy_chips == 0
+          ? chips
+          : std::min<std::uint64_t>(params_.flappy_chips, chips);
+  return static_cast<double>(flappy) * params_.flap_rate_per_hour / 3600.0;
+}
+
+bool ClusterScheduler::chip_usable(topo::TpuId chip) {
+  if (params_.flap_rate_per_hour <= 0.0 || !params_.gray_hysteresis) return true;
+  const fault::LinkState s =
+      damper_.state(static_cast<std::uint64_t>(chip),
+                    Duration::seconds(engine_.now().to_seconds()));
+  return s != fault::LinkState::kQuarantined && s != fault::LinkState::kProbation;
 }
 
 fabric::GlobalTile ClusterScheduler::cursor_tile(fabric::WaferId wafer) {
@@ -175,6 +195,10 @@ std::vector<ClusterScheduler::Fragment> ClusterScheduler::harvest(
     for (std::int32_t i = 0; i < per && remaining > 0; ++i) {
       const topo::TpuId chip = rack * per + i;
       if (cluster_.state(chip) != topo::ChipState::kFree) continue;
+      if (!chip_usable(chip)) {
+        ++report_.morph_deferrals;
+        continue;
+      }
       cluster_.set_state(chip, topo::ChipState::kAllocated);
       f.chips.push_back(chip);
       --remaining;
@@ -496,6 +520,10 @@ bool ClusterScheduler::respare(Job& job, const std::vector<topo::TpuId>& dead) {
       const topo::TpuId chip = rack * per + i;
       if (cluster_.state(chip) != topo::ChipState::kFree) continue;
       if (taken.count(chip) > 0) continue;
+      if (!chip_usable(chip)) {
+        ++report_.morph_deferrals;
+        continue;
+      }
       found = chip;
       break;
     }
@@ -800,6 +828,56 @@ void ClusterScheduler::on_fault(std::size_t script_index) {
   try_admit();
 }
 
+void ClusterScheduler::on_gray() {
+  const TimePoint now = engine_.now();
+  accumulate_metrics(now);
+  // Reschedule first so a long repair stall never silences the flap clock.
+  const TimePoint next = now + Duration::seconds(gray_clock_.exponential(gray_rate()));
+  if (next < TimePoint::at_seconds(params_.horizon.to_seconds())) {
+    engine_.schedule_at(next, [this] { on_gray(); });
+  }
+  ++report_.flap_events;
+  const auto chips = static_cast<std::uint64_t>(cluster_.chip_count());
+  const std::uint64_t flappy =
+      params_.flappy_chips == 0
+          ? chips
+          : std::min<std::uint64_t>(params_.flappy_chips, chips);
+  // Victim i of the flappy population sits at an even stride, so the gray
+  // chips spread across racks instead of clustering in rack 0.
+  const std::uint64_t stride = std::max<std::uint64_t>(1, chips / flappy);
+  const auto chip = static_cast<topo::TpuId>(
+      (gray_victims_.uniform_index(flappy) * stride) % chips);
+  if (params_.gray_hysteresis) {
+    // Score the flap.  While quarantined the damper suppresses the repair
+    // (the job rides the dips out) and chip_usable() keeps harvest/respare
+    // off the chip until its probation hold completes cleanly.
+    const auto key = static_cast<std::uint64_t>(chip);
+    const Duration t = Duration::seconds(now.to_seconds());
+    const fault::LinkState before = damper_.state(key, t);
+    damper_.record_flap(key, t);
+    if (before == fault::LinkState::kQuarantined) return;
+  }
+  // Naive response — and the dampened arm's pre-quarantine thrash: the flap
+  // is indistinguishable from a component fault, so the owning job pays the
+  // same detection + repair stall on_fault would charge.
+  const std::int64_t owner = chip_owner_[static_cast<std::size_t>(chip)];
+  if (owner < 0) return;
+  auto it = jobs_.find(static_cast<std::uint64_t>(owner));
+  if (it == jobs_.end() || !it->second.running) return;
+  ++report_.detections;
+  ++report_.flap_repairs;
+  const Duration detect = detection_delay(now);
+  if (params_.policy == SchedulerPolicy::kElectricalOnly) {
+    recover_electrical(it->second, {}, detect);
+  } else {
+    FaultEvent ev;
+    ev.kind = fault::FaultKind::kMziDrift;
+    ev.victims = {chip};
+    recover_photonic(it->second, ev, {}, detect);
+  }
+  try_admit();
+}
+
 // ---------------------------------------------------------------------------
 // Arrivals / completions.
 // ---------------------------------------------------------------------------
@@ -907,6 +985,13 @@ ClusterReport ClusterScheduler::run() {
       engine_.schedule_at(first_fault, [this] { on_fault(SIZE_MAX); });
     }
   }
+  if (params_.flap_rate_per_hour > 0.0) {
+    const TimePoint first_gray = TimePoint::at_seconds(0.0) +
+        Duration::seconds(gray_clock_.exponential(gray_rate()));
+    if (first_gray < TimePoint::at_seconds(params_.horizon.to_seconds())) {
+      engine_.schedule_at(first_gray, [this] { on_gray(); });
+    }
+  }
 
   const TimePoint end =
       TimePoint::at_seconds((params_.horizon + params_.drain).to_seconds());
@@ -915,6 +1000,9 @@ ClusterReport ClusterScheduler::run() {
 
   // Jobs still running or queued never completed inside the window.
   report_.unserved = jobs_.size();
+  report_.chip_quarantines = damper_.stats().quarantines;
+  report_.chip_probations = damper_.stats().probations;
+  report_.suppressed_repairs = damper_.stats().suppressed_repairs;
   report_.makespan = end - TimePoint::at_seconds(0.0);
   const double span = report_.makespan.to_seconds();
   report_.frag_stranding_avg = span > 0.0 ? frag_integral_ / span : 0.0;

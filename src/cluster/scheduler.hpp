@@ -51,6 +51,7 @@
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "fault/health.hpp"
 #include "lightpath/fabric.hpp"
 #include "routing/concurrent_planner.hpp"
 #include "routing/plan_cache.hpp"
@@ -147,6 +148,21 @@ struct ClusterParams {
   double mtbf_hours{2.0};
   fault::FaultModelParams fault_model{};
   runtime::RecoveryPolicy recovery{};
+  /// Gray (flap) events per chip-hour: a chip's optical backbone dips
+  /// without dying (0 disables the layer; the pre-gray report is
+  /// bit-identical).  Naive treats every flap as a component fault and pays
+  /// a detection + in-place-repair stall; with gray_hysteresis the
+  /// FlapDamper quarantines repeat flappers — repairs are suppressed while
+  /// quarantined, and harvest/respare defer morphing onto chips still in
+  /// quarantine or probation until the probation hold completes cleanly.
+  double flap_rate_per_hour{0.0};
+  /// Gray events concentrate on this many chips (evenly strided across the
+  /// cluster): empirically a small fixed population of marginal components
+  /// produces most flaps.  flap_rate_per_hour is per *flapping* chip.
+  /// 0 spreads flaps uniformly over every chip instead.
+  std::uint32_t flappy_chips{8};
+  bool gray_hysteresis{true};
+  fault::FlapDamperParams damper{};
   /// Rack-granularity migration charge (electrical baseline).
   Duration migration_latency{Duration::seconds(600.0)};
   /// Elastic shrink floor: survivors below this fraction of the original
@@ -188,6 +204,18 @@ struct ClusterReport {
   std::uint64_t fatal_chip_failures{0};
   std::uint64_t component_events{0};
   std::uint64_t detections{0};  ///< events that touched a running job
+  // --- gray-failure flow (all zero when flap_rate_per_hour == 0) ---
+  std::uint64_t flap_events{0};
+  /// Flaps answered with a component-repair stall (the naive arm's cost,
+  /// and the dampened arm's pre-quarantine thrash).
+  std::uint64_t flap_repairs{0};
+  /// Flaps ridden out while the chip was quarantined (damper-suppressed).
+  std::uint64_t suppressed_repairs{0};
+  std::uint64_t chip_quarantines{0};
+  std::uint64_t chip_probations{0};
+  /// Free chips harvest/respare skipped because the damper still held them
+  /// in quarantine or probation — morphs deferred off flapping hardware.
+  std::uint64_t morph_deferrals{0};
   // --- recovery escalation histogram ---
   std::uint64_t inplace_repairs{0};
   std::uint64_t respares{0};
@@ -286,6 +314,7 @@ class ClusterScheduler {
   void on_scripted_arrival(std::size_t index);
   void admit_new_job(topo::Shape shape, Duration service);
   void on_fault(std::size_t script_index);
+  void on_gray();
   void on_completion(std::uint64_t id, std::uint32_t generation);
 
   // --- placement / admission ---
@@ -322,6 +351,11 @@ class ClusterScheduler {
   void mark_rack_dirty(topo::RackId rack);
   void refresh_racks();
   [[nodiscard]] Duration detection_delay(TimePoint at) const;
+  /// Whether harvest/respare may take this chip now: false while the flap
+  /// damper holds it in quarantine or probation (gray layer on only).
+  [[nodiscard]] bool chip_usable(topo::TpuId chip);
+  /// Aggregate gray-event rate (events/s) over the flapping population.
+  [[nodiscard]] double gray_rate() const;
   [[nodiscard]] fabric::GlobalTile cursor_tile(fabric::WaferId wafer);
   void fold_digest(std::uint64_t v);
 
@@ -335,12 +369,16 @@ class ClusterScheduler {
   sim::EventEngine engine_;
 
   // RNG streams (task_seed(seed, n)): 0 arrivals, 1 job attributes,
-  // 2 fault clock, 3 fault bodies, 4 victim anchors.
+  // 2 fault clock, 3 fault bodies, 4 victim anchors, 5 gray clock,
+  // 6 gray victims.
   Rng arrivals_;
   Rng attrs_;
   Rng fault_clock_;
   Rng fault_body_;
   Rng victims_;
+  Rng gray_clock_;
+  Rng gray_victims_;
+  fault::FlapDamper damper_;
 
   std::map<std::uint64_t, Job> jobs_;  ///< ordered: deterministic iteration
   std::deque<std::uint64_t> queue_;

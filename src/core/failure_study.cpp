@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "core/photonic_rack.hpp"
+#include "fault/gray.hpp"
 #include "topo/slice.hpp"
 #include "util/parallel.hpp"
 
@@ -229,6 +230,8 @@ struct ComponentWorkspace {
     std::uint64_t degraded{0};
     std::uint64_t hard_down{0};
     std::uint64_t unrecovered{0};
+    std::uint64_t unrecovered_transient{0};
+    std::uint64_t transient_failures{0};
     std::array<std::uint64_t, routing::kRepairRungCount> recovered_by{};
     std::array<std::uint64_t, routing::kRepairRungCount> attempts{};
     double chip_hours{0.0};
@@ -260,11 +263,25 @@ struct ComponentWorkspace {
       opts.validate = [this, &fs](const fabric::Fabric& f, fabric::CircuitId id) {
         return monitor.diagnose(f, fs, id).health == fault::CircuitHealth::kHealthy;
       };
+      if (params.settle_failure_probability > 0.0) {
+        // Per-(trial, circuit) oracle stream: deterministic regardless of
+        // how trials land on workers.
+        const std::uint64_t oracle_seed = util::task_seed(
+            util::task_seed(params.seed, trial), 0x5e771e ^ d.id);
+        const double p = params.settle_failure_probability;
+        opts.transient_failure = [oracle_seed, p](routing::RepairRung,
+                                                  std::uint32_t attempt) {
+          return fault::settle_transient_failure(oracle_seed, attempt, p);
+        };
+        opts.backoff = params.backoff;
+        opts.backoff.seed = oracle_seed;
+      }
       const routing::EscalationOutcome out =
           routing::escalate_repair(fab, fault::to_degraded(d), opts);
       for (std::size_t k = 0; k < routing::kRepairRungCount; ++k) {
         r.attempts[k] += out.attempts[k];
       }
+      r.transient_failures += out.transient_failures;
       if (out.recovered) {
         const std::size_t k = routing::rung_index(out.rung);
         ++r.recovered_by[k];
@@ -273,6 +290,7 @@ struct ComponentWorkspace {
         r.recovery_seconds += out.latency.to_seconds();
       } else {
         ++r.unrecovered;
+        if (out.transient_failed) ++r.unrecovered_transient;
       }
     }
 
@@ -321,6 +339,8 @@ ComponentAvailabilityReport run_component_fault_study(
     report.degraded_circuits += r.degraded;
     report.hard_down_circuits += r.hard_down;
     report.unrecovered += r.unrecovered;
+    report.unrecovered_transient += r.unrecovered_transient;
+    report.transient_repair_failures += r.transient_failures;
     for (std::size_t k = 0; k < routing::kRepairRungCount; ++k) {
       report.recovered_by[k] += r.recovered_by[k];
       report.attempts[k] += r.attempts[k];

@@ -103,6 +103,12 @@ struct ComponentStudyParams {
   /// when rung 4 is consulted (usually low, per Figure 6).
   double electrical_feasible_p{0.1};
   std::uint32_t retries_per_rung{2};
+  /// Probability that one programming attempt fails transiently (MZI settle
+  /// timeout — fault/gray.hpp) and is retried with backoff.  0 keeps the
+  /// legacy fail-stop behavior bit-identical.
+  double settle_failure_probability{0.0};
+  /// Backoff between transient retries (seed is re-derived per trial).
+  routing::RetryBackoff backoff{};
   /// Chips idled while each rung's recovery runs (index = rung): the
   /// optical rungs touch the failed chip's server, the electrical detour
   /// only the endpoints, migration the whole rack.
@@ -129,6 +135,14 @@ struct ComponentAvailabilityReport {
   /// Total attempts per rung, including successful ones.
   std::array<std::uint64_t, routing::kRepairRungCount> attempts{};
   std::uint64_t unrecovered{0};
+  /// Subset of `unrecovered` that failed transiently (every retry hit a
+  /// settle timeout): the circuit is still established and a later climb
+  /// would likely succeed — a different cause than plan failure, and
+  /// reported separately so artifacts do not conflate the two.
+  std::uint64_t unrecovered_transient{0};
+  /// Individual programming attempts that failed transiently and were
+  /// retried with backoff.
+  std::uint64_t transient_repair_failures{0};
   double chip_hours_lost{0.0};
   /// Total wall-clock recovery time across all repairs.
   double recovery_seconds_total{0.0};

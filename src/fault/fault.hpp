@@ -228,6 +228,10 @@ struct SampledFaults {
   BurstDomain domain{BurstDomain::kNone};
 };
 
+// Gray (intermittent) fault processes — see fault/gray.hpp.
+struct GrayModelParams;
+struct GrayEpisode;
+
 /// Deterministic fault sampling against one fabric's geometry.
 class FaultInjector {
  public:
@@ -258,6 +262,24 @@ class FaultInjector {
   /// (burst correlation).
   [[nodiscard]] Fault sample_one(Rng& rng,
                                  std::optional<fabric::WaferId> confine = {}) const;
+
+  // --- gray (intermittent) episodes, alongside the permanent faults ---
+  // Defined in fault/gray.cpp; include fault/gray.hpp for the types.
+
+  /// Draws one gray episode (flap trace + transient-settle/BER riders) on a
+  /// uniformly drawn directed-edge component.
+  [[nodiscard]] GrayEpisode sample_gray(Rng& rng, const GrayModelParams& params) const;
+
+  /// Like sample_gray but with the flapping component pinned by the caller
+  /// (e.g. a ring edge's source transceiver).
+  [[nodiscard]] GrayEpisode sample_gray_at(Rng& rng, const GrayModelParams& params,
+                                           fabric::GlobalTile tile,
+                                           fabric::Direction direction) const;
+
+  /// Episode for gray trial `trial`: a pure function of (seed, trial) on a
+  /// stream family distinct from sample_trial's.
+  [[nodiscard]] GrayEpisode sample_gray_trial(std::uint64_t trial,
+                                              const GrayModelParams& params) const;
 
  private:
   const fabric::Fabric* fab_;

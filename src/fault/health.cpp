@@ -1,6 +1,8 @@
 #include "fault/health.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "lightpath/circuit.hpp"
 
@@ -70,6 +72,78 @@ std::vector<CircuitDiagnosis> HealthMonitor::scan(const fabric::Fabric& fab,
     if (diag.health != CircuitHealth::kHealthy) unhealthy.push_back(diag);
   }
   return unhealthy;
+}
+
+FlapDamper::FlapDamper(FlapDamperParams params) : params_{params} {}
+
+void FlapDamper::advance(Record& r, double t_s) {
+  // Hold expiries fire at their fixed absolute times, not at observation
+  // time: a quarantine that ended long before this query still enters (and
+  // possibly completes) probation at the recorded instants, so the
+  // trajectory is independent of how often the machine is observed.
+  if (r.state == LinkState::kQuarantined && t_s >= r.hold_until_s) {
+    r.state = LinkState::kProbation;
+    r.hold_until_s += params_.probation_hold.to_seconds();
+    ++stats_.probations;
+  }
+  if (r.state == LinkState::kProbation && t_s >= r.hold_until_s) {
+    // A clean probation wipes the flap history.
+    r.state = LinkState::kHealthy;
+    r.score = 0.0;
+  }
+  if (t_s > r.last_s && r.score > 0.0) {
+    const double half_life = std::max(params_.half_life_seconds, 1e-9);
+    r.score *= std::exp2(-(t_s - r.last_s) / half_life);
+  }
+  r.last_s = std::max(r.last_s, t_s);
+  if (r.state == LinkState::kSuspect && r.score < params_.suspect_threshold) {
+    r.state = LinkState::kHealthy;
+  }
+}
+
+LinkState FlapDamper::record_flap(std::uint64_t key, Duration t) {
+  Record& r = links_[key];
+  const double t_s = t.to_seconds();
+  advance(r, t_s);
+  ++stats_.flaps;
+  r.score += params_.flap_penalty;
+  if (r.state == LinkState::kQuarantined) {
+    // Still flapping while quarantined: the repair the dampening suppressed,
+    // and a fresh hold (the clock restarts until the link quiets down).
+    ++stats_.suppressed_repairs;
+    r.hold_until_s = t_s + params_.quarantine_hold.to_seconds();
+    return r.state;
+  }
+  if (r.state == LinkState::kProbation) {
+    // Relapse: probation forgives nothing — straight back to quarantine.
+    r.state = LinkState::kQuarantined;
+    r.hold_until_s = t_s + params_.quarantine_hold.to_seconds();
+    ++stats_.relapses;
+    ++stats_.quarantines;
+    return r.state;
+  }
+  if (r.score >= params_.quarantine_threshold) {
+    r.state = LinkState::kQuarantined;
+    r.hold_until_s = t_s + params_.quarantine_hold.to_seconds();
+    ++stats_.quarantines;
+  } else if (r.score >= params_.suspect_threshold) {
+    r.state = LinkState::kSuspect;
+  }
+  return r.state;
+}
+
+LinkState FlapDamper::state(std::uint64_t key, Duration t) {
+  const auto it = links_.find(key);
+  if (it == links_.end()) return LinkState::kHealthy;
+  advance(it->second, t.to_seconds());
+  return it->second.state;
+}
+
+double FlapDamper::score(std::uint64_t key, Duration t) {
+  const auto it = links_.find(key);
+  if (it == links_.end()) return 0.0;
+  advance(it->second, t.to_seconds());
+  return it->second.score;
 }
 
 routing::DegradedCircuit to_degraded(const CircuitDiagnosis& d) {

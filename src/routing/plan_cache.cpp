@@ -41,6 +41,25 @@ std::uint64_t PlanCache::demand_fingerprint(const std::vector<Demand>& demands) 
   return sum;
 }
 
+void PlanCache::set_quarantine(QuarantinePredicate quarantine) {
+  quarantine_ = std::move(quarantine);
+}
+
+bool PlanCache::path_quarantined(fabric::GlobalTile src,
+                                 const std::vector<fabric::Direction>& hops) const {
+  if (!quarantine_) return false;
+  const fabric::Wafer& w = fabric_.wafer(src.wafer);
+  fabric::TileId at = src.tile;
+  for (fabric::Direction d : hops) {
+    if (quarantine_(fabric::GlobalTile{src.wafer, at}, d)) return true;
+    const auto n = w.neighbor(at, d);
+    if (!n) return false;  // malformed path; the connect will reject it anyway
+    if (quarantine_(fabric::GlobalTile{src.wafer, *n}, fabric::opposite(d))) return true;
+    at = *n;
+  }
+  return false;
+}
+
 PlanReport PlanCache::place_all(const std::vector<Demand>& demands) {
   const std::uint64_t fp = demand_fingerprint(demands);
   const std::uint64_t epoch = fabric_.epoch();
@@ -59,6 +78,17 @@ PlanReport PlanCache::place_all(const std::vector<Demand>& demands) {
       if (entry.ordered != ordered) continue;  // fingerprint collision
       if (entry.digest != digest) {
         ++stats_.digest_mismatches;
+        continue;
+      }
+      // Quarantine pre-check before any circuit is established: a memoized
+      // path through a dampened port must not be replayed, but the entry
+      // stays recorded (and the epoch untouched) for when the hold lifts.
+      if (quarantine_ && std::any_of(entry.placed.begin(), entry.placed.end(),
+                                     [&](const Step& s) {
+                                       return !s.cross_wafer &&
+                                              path_quarantined(s.demand.src, s.hops);
+                                     })) {
+        ++stats_.quarantine_rejections;
         continue;
       }
       if (auto replayed = try_replay(entry)) {
@@ -159,6 +189,13 @@ std::optional<std::vector<fabric::Direction>> PlanCache::route_for(const Demand&
   std::erase_if(vec, [&](const RouteEntry& e) { return e.epoch != epoch; });
   for (RouteEntry& e : vec) {
     if (e.demand == demand && e.digest == digest) {
+      // Revalidate against the current quarantine view.  A rejected memo is
+      // NOT replaced: it is still the correct route for this ledger state
+      // and becomes usable again the moment the quarantine lifts.
+      if (e.hops && path_quarantined(demand.src, *e.hops)) {
+        ++stats_.quarantine_rejections;
+        return std::nullopt;
+      }
       ++stats_.route_hits;
       e.last_use = ++use_clock_;
       return e.hops;
@@ -170,6 +207,12 @@ std::optional<std::vector<fabric::Direction>> PlanCache::route_for(const Demand&
   opts.lanes = demand.wavelengths;
   auto hops = find_route(fabric_.wafer(demand.src.wafer), demand.src.tile,
                          demand.dst.tile, opts);
+  if (hops && path_quarantined(demand.src, *hops)) {
+    // The only feasible route runs through a quarantined port: unusable for
+    // now, and not memoized (the memo would just be rejected again).
+    ++stats_.quarantine_rejections;
+    return std::nullopt;
+  }
   RouteEntry e;
   e.epoch = epoch;
   e.digest = digest;

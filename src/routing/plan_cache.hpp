@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -49,6 +50,11 @@ struct PlanCacheStats {
   /// Single-route memo (route_for) counters, used by the repair ladder.
   std::uint64_t route_hits{0};
   std::uint64_t route_misses{0};
+  /// Lookups rejected because the memoized (or freshly found) path crosses
+  /// a quarantined component (set_quarantine).  Quarantine is a *view*, not
+  /// an invalidation: the entry survives untouched for when the quarantine
+  /// lifts, and the fabric epoch is never bumped.
+  std::uint64_t quarantine_rejections{0};
 };
 
 /// Caching wrapper over CircuitPlanner.  Not thread-safe; each planning
@@ -73,6 +79,17 @@ class PlanCache {
   /// Validated by the same epoch+digest rule as full plans.
   [[nodiscard]] std::optional<std::vector<fabric::Direction>> route_for(
       const Demand& demand);
+
+  /// True when the component (a tile's directed port) is quarantined by the
+  /// flap damper and must not carry new circuits.
+  using QuarantinePredicate = std::function<bool(fabric::GlobalTile, fabric::Direction)>;
+
+  /// Installs (or clears, with nullptr) the quarantine view.  Memoized hop
+  /// paths that touch a quarantined port are rejected at lookup time —
+  /// place_all falls through to fresh planning, route_for returns nullopt —
+  /// but the entries themselves are kept and the fabric epoch is NOT
+  /// bumped: when the quarantine lifts the cache is warm again instantly.
+  void set_quarantine(QuarantinePredicate quarantine);
 
   [[nodiscard]] const PlanCacheStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t size() const { return entry_count_; }
@@ -108,6 +125,10 @@ class PlanCache {
   };
 
   [[nodiscard]] std::optional<PlanReport> try_replay(Entry& entry);
+  /// Whether a same-wafer hop path touches any quarantined port (both the
+  /// exit port of each tile left and the entry port of each tile reached).
+  [[nodiscard]] bool path_quarantined(fabric::GlobalTile src,
+                                      const std::vector<fabric::Direction>& hops) const;
   void remember(std::uint64_t fingerprint, std::uint64_t epoch, std::uint64_t digest,
                 std::vector<Demand> ordered, const PlanReport& report);
   void evict_if_needed();
@@ -122,6 +143,7 @@ class PlanCache {
   std::unordered_map<std::uint64_t, std::vector<RouteEntry>> routes_;
   std::size_t entry_count_{0};
   std::uint64_t use_clock_{0};
+  QuarantinePredicate quarantine_;
   PlanCacheStats stats_;
 };
 

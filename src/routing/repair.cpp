@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "routing/plan_cache.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
 
 namespace lp::routing {
 
@@ -68,6 +70,17 @@ bool accept(const EscalationOptions& options, const Fabric& fab,
 
 }  // namespace
 
+Duration RetryBackoff::delay(std::uint64_t retry) const {
+  if (base <= Duration::zero() || retry == 0) return Duration::zero();
+  Duration d = base;
+  for (std::uint64_t k = 1; k < retry; ++k) d = d * factor;
+  if (jitter_fraction <= 0.0) return d;
+  // Jitter is a pure function of (seed, retry): the same wait on every
+  // worker, climb, and rerun.
+  Rng rng{util::task_seed(seed, retry)};
+  return d * rng.uniform(1.0 - jitter_fraction, 1.0 + jitter_fraction);
+}
+
 EscalationOutcome escalate_repair(Fabric& fab, const DegradedCircuit& victim,
                                   const EscalationOptions& options) {
   EscalationOutcome out;
@@ -78,15 +91,40 @@ EscalationOutcome escalate_repair(Fabric& fab, const DegradedCircuit& victim,
   const GlobalTile dst = c->dst;
   const std::uint32_t lambdas =
       options.wavelengths != 0 ? options.wavelengths : c->wavelengths;
-  // The budget gates starting an attempt; a started attempt is charged in
-  // full.  On exhaustion the victim stays established for a later climb.
+  // The budget gates starting an attempt; a started attempt (its backoff
+  // wait included) is charged in full.  On exhaustion the victim stays
+  // established for a later climb.
   auto exhausted = [&] {
     if (options.budget <= Duration::zero()) return false;
     if (out.latency < options.budget) return false;
     out.budget_exhausted = true;
     return true;
   };
-  auto attempt = [&](RepairRung r) { ++out.attempts[rung_index(r)]; };
+  // Climb-wide attempt ordinal: feeds the transient oracle so every attempt
+  // of a climb has a distinct, deterministic identity.
+  std::uint32_t ordinal = 0;
+  auto attempt = [&](RepairRung r) {
+    ++out.attempts[rung_index(r)];
+    ++ordinal;
+  };
+  // Consulted at most once per attempt, after the deterministic checks: a
+  // hit means the programming transiently failed and rolled back.
+  auto transient = [&](RepairRung r) {
+    const bool hit =
+        options.transient_failure && options.transient_failure(r, ordinal - 1);
+    if (hit) ++out.transient_failures;
+    return hit;
+  };
+  // Wait before retry k of a rung (k >= 1), charged like attempt latency.
+  auto wait_before_retry = [&](std::uint32_t k) {
+    const Duration w = options.backoff.delay(k);
+    out.latency += w;
+    out.backoff_latency += w;
+  };
+  auto rung_expired = [&](Duration rung_start) {
+    return options.rung_timeout > Duration::zero() &&
+           out.latency - rung_start >= options.rung_timeout;
+  };
   auto succeed = [&](RepairRung r, std::vector<fabric::CircuitId> circuits) {
     out.recovered = true;
     out.rung = r;
@@ -99,13 +137,20 @@ EscalationOutcome escalate_repair(Fabric& fab, const DegradedCircuit& victim,
   // itself still healthy.  Succeeds when the source tile has enough free
   // healthy lasers for the circuit to re-lock onto (the fault layer models
   // dead lasers by consuming that headroom; a shortfall leaves the tile
-  // genuinely short and the rung fails).
+  // genuinely short and the rung fails).  Only a transient settle failure
+  // earns a retry: a laser shortfall is deterministic and repeating the
+  // identical attempt is forbidden.
   if (victim.dead_lasers > 0 && !victim.hard_down && !victim.src_dead &&
       !victim.dst_dead) {
-    if (exhausted()) return out;
-    attempt(RepairRung::kRetune);
-    out.latency += probe_cost(fab);
-    if (fab.wafer(src.wafer).tile(src.tile).tx_free() >= victim.dead_lasers) {
+    const Duration rung_start = out.latency;
+    for (std::uint32_t r = 0; r < std::max(options.retries_per_rung, 1u); ++r) {
+      if (exhausted()) return out;
+      if (r > 0 && rung_expired(rung_start)) break;
+      if (r > 0) wait_before_retry(r);
+      attempt(RepairRung::kRetune);
+      out.latency += probe_cost(fab);
+      if (fab.wafer(src.wafer).tile(src.tile).tx_free() < victim.dead_lasers) break;
+      if (transient(RepairRung::kRetune)) continue;
       succeed(RepairRung::kRetune, {victim.id});
       return out;
     }
@@ -120,11 +165,17 @@ EscalationOutcome escalate_repair(Fabric& fab, const DegradedCircuit& victim,
                           (victim.hard_down || victim.budget_failed);
   if (reroutable) {
     // Distinct strategies only: the router family first, then the fabric's
-    // XY/first-fit family.  Identical deterministic attempts never repeat.
+    // XY/first-fit family.  A deterministic failure advances the strategy
+    // (identical attempts never repeat); a transient one retries the same
+    // strategy, bounded by retries_per_rung total attempts.
     const std::uint32_t strategies = src.wafer == dst.wafer ? 2 : 1;
-    for (std::uint32_t s = 0; s < std::min(strategies, options.retries_per_rung);
-         ++s) {
+    const Duration rung_start = out.latency;
+    std::uint32_t s = 0;
+    for (std::uint32_t tries = 0; s < strategies && tries < options.retries_per_rung;
+         ++tries) {
       if (exhausted()) return out;
+      if (tries > 0 && rung_expired(rung_start)) break;
+      if (tries > 0) wait_before_retry(tries);
       attempt(RepairRung::kReroute);
       Result<fabric::CircuitId> placed = Err("unattempted");
       if (src.wafer == dst.wafer && s == 0) {
@@ -145,9 +196,19 @@ EscalationOutcome escalate_repair(Fabric& fab, const DegradedCircuit& victim,
       }
       if (!placed) {
         out.latency += probe_cost(fab);
+        ++s;
         continue;
       }
       if (!accept(options, fab, placed.value())) {
+        fab.disconnect(placed.value());
+        out.latency += probe_cost(fab);
+        ++s;
+        continue;
+      }
+      if (transient(RepairRung::kReroute)) {
+        // The replacement programmed but never validated up (the link
+        // flapped back / the settle timed out): roll it back, same strategy
+        // may be retried.
         fab.disconnect(placed.value());
         out.latency += probe_cost(fab);
         continue;
@@ -162,18 +223,23 @@ EscalationOutcome escalate_repair(Fabric& fab, const DegradedCircuit& victim,
 
   // Rung 3 — respare: replace the broken endpoint (dead chip, or the
   // laser-deficient source) with a spare via choose_spare, re-planning the
-  // anchor<->spare pair through the transactional repair planner.  Each
-  // retry excludes spares that already failed.
+  // anchor<->spare pair through the transactional repair planner.  A
+  // deterministic failure excludes the spare; a transient one may retry it.
+  // The attempt counter increments only once a spare is actually chosen —
+  // a rung that never starts (no viable candidate) counts zero attempts.
   if (!options.spare_candidates.empty() && !(victim.src_dead && victim.dst_dead)) {
     const bool replace_src = victim.src_dead || victim.dead_lasers > 0;
     const GlobalTile anchor = replace_src ? dst : src;
     std::vector<GlobalTile> candidates = options.spare_candidates;
+    const Duration rung_start = out.latency;
     for (std::uint32_t r = 0; r < options.retries_per_rung && !candidates.empty();
          ++r) {
       if (exhausted()) return out;
-      attempt(RepairRung::kRespare);
+      if (r > 0 && rung_expired(rung_start)) break;
       const auto choice = choose_spare(fab, candidates, {anchor});
       if (!choice) break;
+      if (r > 0) wait_before_retry(r);
+      attempt(RepairRung::kRespare);
       RepairRequest req;
       req.spare = candidates[choice.value()];
       req.neighbors = {anchor};
@@ -182,13 +248,19 @@ EscalationOutcome escalate_repair(Fabric& fab, const DegradedCircuit& victim,
       if (plan.complete) {
         bool ok = true;
         for (fabric::CircuitId id : plan.circuits) ok = ok && accept(options, fab, id);
-        if (ok) {
+        if (ok && !transient(RepairRung::kRespare)) {
           fab.disconnect(victim.id);
           out.latency += plan.reconfig_latency;
           succeed(RepairRung::kRespare, plan.circuits);
           return out;
         }
         for (fabric::CircuitId id : plan.circuits) fab.disconnect(id);
+        if (ok) {
+          // Transient settle failure: full rollback, the spare itself is
+          // fine — it stays a candidate for the next try.
+          out.latency += probe_cost(fab);
+          continue;
+        }
       }
       out.latency += probe_cost(fab);
       candidates.erase(candidates.begin() +
@@ -198,23 +270,44 @@ EscalationOutcome escalate_repair(Fabric& fab, const DegradedCircuit& victim,
 
   // Rung 4 — electrical torus detour: leave the optical domain, ride the
   // static electrical links around the fault.  Feasibility is the caller's
-  // congestion analysis (usually false, per Figure 6).
-  if (exhausted()) return out;
-  attempt(RepairRung::kElectricalDetour);
+  // congestion analysis (usually false, per Figure 6); an infeasible detour
+  // is a rung never entered — zero attempts, zero charge.
   if (options.electrical_feasible) {
-    fab.disconnect(victim.id);
-    out.latency += options.electrical_detour_latency;
-    succeed(RepairRung::kElectricalDetour, {});
-    return out;
+    if (exhausted()) return out;
+    attempt(RepairRung::kElectricalDetour);
+    if (!transient(RepairRung::kElectricalDetour)) {
+      fab.disconnect(victim.id);
+      out.latency += options.electrical_detour_latency;
+      succeed(RepairRung::kElectricalDetour, {});
+      return out;
+    }
+    out.latency += probe_cost(fab);
   }
 
-  // Rung 5 — rack migration: the [60] baseline.  Cannot fail — but a
-  // bounded climb may run out of budget before it is allowed to start.
-  if (exhausted()) return out;
-  attempt(RepairRung::kRackMigration);
-  fab.disconnect(victim.id);
-  out.latency += options.migration_latency;
-  succeed(RepairRung::kRackMigration, {});
+  // Rung 5 — rack migration: the [60] baseline.  Cannot fail permanently —
+  // but a bounded climb may run out of budget before it is allowed to
+  // start, and its programming can transiently time out, in which case the
+  // whole climb reports transient_failed with the victim left established.
+  {
+    const Duration rung_start = out.latency;
+    for (std::uint32_t r = 0; r < std::max(options.retries_per_rung, 1u); ++r) {
+      if (exhausted()) return out;
+      if (r > 0 && rung_expired(rung_start)) break;
+      if (r > 0) wait_before_retry(r);
+      attempt(RepairRung::kRackMigration);
+      if (transient(RepairRung::kRackMigration)) {
+        out.latency += probe_cost(fab);
+        continue;
+      }
+      fab.disconnect(victim.id);
+      out.latency += options.migration_latency;
+      succeed(RepairRung::kRackMigration, {});
+      return out;
+    }
+  }
+  // Every rung that ran ended in a transient failure: nothing committed,
+  // the victim is still established, and a later climb may succeed.
+  out.transient_failed = true;
   return out;
 }
 

@@ -43,7 +43,9 @@ struct RepairPlan {
 
 /// Plans and establishes the repair circuits on the fabric.  On partial
 /// failure the already-established circuits are torn down and
-/// complete=false is returned with whatever latency was observed.
+/// complete=false is returned with reconfig_latency zero — nothing was
+/// committed, so nothing is charged; the caller accounts its own probe
+/// cost (escalate_repair charges one settle per failed optical attempt).
 [[nodiscard]] RepairPlan repair_with_spare(fabric::Fabric& fab, const RepairRequest& req,
                                            const RouteOptions& options = {});
 
@@ -120,6 +122,23 @@ struct DegradedCircuit {
   std::uint32_t dead_lasers{0};
 };
 
+/// Deterministic exponential backoff-with-jitter wait schedule.  delay(k)
+/// is the wait charged before retry k (k >= 1): base * factor^(k-1),
+/// scaled by a jitter draw uniform in [1 - jitter_fraction,
+/// 1 + jitter_fraction].  The jitter is a pure function of (seed, k) via
+/// util::task_seed, so every climb, worker, and rerun charges the exact
+/// same wait — randomized de-synchronization without nondeterminism.
+struct RetryBackoff {
+  /// Zero disables waits entirely (delay() returns zero).
+  Duration base{Duration::zero()};
+  double factor{2.0};
+  /// Fractional +/- jitter; zero means no jitter draw at all.
+  double jitter_fraction{0.0};
+  std::uint64_t seed{0};
+
+  [[nodiscard]] Duration delay(std::uint64_t retry) const;
+};
+
 struct EscalationOptions {
   /// Max attempts per rung (distinct strategies/spares; never the same
   /// deterministic attempt twice).
@@ -151,6 +170,26 @@ struct EscalationOptions {
   /// (e.g. drive_recovery's budget-exhausted retries) skip the Dijkstra.
   /// Null plans fresh.  Not owned.
   PlanCache* cache{nullptr};
+  /// Wait schedule between failed attempts *within* a rung (retry k of a
+  /// rung waits backoff.delay(k) first).  Waits are charged to latency and
+  /// backoff_latency and are budget-gated like attempts: once the budget is
+  /// reached no further wait (or attempt) starts.  Default: no waits,
+  /// preserving the pre-gray cost model.
+  RetryBackoff backoff{};
+  /// Per-rung wall-clock cap: once the climb has spent this much inside the
+  /// current rung (attempt charges + waits), the rung is abandoned and the
+  /// climb escalates — a slow rung cannot starve the ones above it.  Zero
+  /// means no per-rung cap (the overall budget still applies).
+  Duration rung_timeout{Duration::zero()};
+  /// Transient-failure oracle (gray failures; see fault/gray.hpp): called
+  /// with the rung and a climb-wide attempt ordinal before an attempt
+  /// commits.  True means the programming transiently failed — OCS port
+  /// timeout, settle overrun, the link flapped back down under validation —
+  /// so the attempt rolls back (one probe charged) and is counted in
+  /// transient_failures.  A transient failure on rung 5 makes the whole
+  /// climb return transient_failed with the victim left established (rack
+  /// migration "cannot fail" only permanently).  Null means never.
+  std::function<bool(RepairRung, std::uint32_t)> transient_failure;
 };
 
 struct EscalationOutcome {
@@ -166,10 +205,23 @@ struct EscalationOutcome {
   /// retune, the replacement for reroute, the anchor<->spare pair for
   /// respare, empty for the electrical rungs.
   std::vector<fabric::CircuitId> circuits;
+  /// Every rung that ran failed *transiently* at the end (rung 5's
+  /// programming timed out): the victim is left established and a later
+  /// climb may succeed outright.  Distinct from plan failure (recovered ==
+  /// false, transient_failed == false, budget to spare) and from budget
+  /// exhaustion.  Mutually exclusive with recovered and budget_exhausted.
+  bool transient_failed{false};
+  /// Attempts that failed transiently (oracle hits) across all rungs.
+  std::uint32_t transient_failures{0};
   /// Wall-clock recovery latency (probe + programming + settle per optical
-  /// attempt; detour/migration constants for the electrical rungs).
+  /// attempt; backoff waits; detour/migration constants for the electrical
+  /// rungs).
   Duration latency{Duration::zero()};
-  /// Attempts made per rung, including the successful one.
+  /// Subset of latency spent in backoff waits between attempts.
+  Duration backoff_latency{Duration::zero()};
+  /// Attempts made per rung, including the successful one.  A rung gated
+  /// off before it was entered (budget exhausted, spare selection empty,
+  /// electrical detour infeasible) counts zero attempts.
   std::array<std::uint32_t, kRepairRungCount> attempts{};
 };
 

@@ -1,5 +1,7 @@
 #include "runtime/recovery.hpp"
 
+#include "util/parallel.hpp"
+
 namespace lp::runtime {
 
 RecoveryResult drive_recovery(fabric::Fabric& fab,
@@ -13,6 +15,7 @@ RecoveryResult drive_recovery(fabric::Fabric& fab,
   // that costs (elastic shrink or a migration charge).
   base.electrical_feasible = false;
   base.migration_latency = Duration::zero();
+  base.rung_timeout = policy.rung_timeout;
 
   Duration budget = policy.initial_budget;
   Duration backoff = policy.backoff_base;
@@ -20,12 +23,17 @@ RecoveryResult drive_recovery(fabric::Fabric& fab,
     routing::EscalationOptions opts = base;
     // The last climb is unbounded so the loop always settles the victim.
     opts.budget = attempt == policy.max_attempts ? Duration::zero() : budget;
+    opts.backoff = policy.rung_backoff;
+    // Distinct jitter stream per climb: retries of climb N never reuse the
+    // waits of climb N-1, yet every rerun charges the same waits.
+    opts.backoff.seed = util::task_seed(policy.rung_backoff.seed, attempt);
     const routing::EscalationOutcome out = routing::escalate_repair(fab, victim, opts);
     ++res.climbs;
     for (std::size_t k = 0; k < routing::kRepairRungCount; ++k) {
       res.rung_attempts[k] += out.attempts[k];
     }
     res.repair_latency += out.latency;
+    res.transient_failures += out.transient_failures;
     if (out.recovered) {
       res.rung = out.rung;
       if (out.rung == routing::RepairRung::kRackMigration) {
@@ -36,10 +44,19 @@ RecoveryResult drive_recovery(fabric::Fabric& fab,
       }
       return res;
     }
-    if (!out.budget_exhausted) {
+    if (out.transient_failed && attempt == policy.max_attempts) {
+      // Even the unbounded climb ended transiently: the victim is still
+      // established — report it so the caller can ride out the disturbance.
+      res.transient_failed = true;
+      return res;
+    }
+    if (!out.budget_exhausted && !out.transient_failed) {
       res.plan_failure = true;  // victim.id names no established circuit
       return res;
     }
+    // Budget exhaustion and transient failure back off the same way: the
+    // fabric is untouched, so a later climb with more budget (or past the
+    // disturbance) can still succeed.
     res.backoff_latency += backoff;
     budget = budget * policy.backoff_factor;
     backoff = backoff * policy.backoff_factor;

@@ -37,6 +37,13 @@ struct RecoveryPolicy {
   std::uint32_t max_attempts{3};
   /// Per-rung retry bound handed to the ladder.
   std::uint32_t retries_per_rung{2};
+  /// Intra-rung retry wait schedule handed to the ladder.  Each climb gets
+  /// its own deterministic jitter stream (seed salted with the climb index
+  /// via util::task_seed), so retries de-synchronize across climbs without
+  /// any nondeterminism.  Default: no intra-rung waits (pre-gray behavior).
+  routing::RetryBackoff rung_backoff{};
+  /// Per-rung wall-clock cap handed to the ladder; zero means none.
+  Duration rung_timeout{Duration::zero()};
 };
 
 struct RecoveryResult {
@@ -48,6 +55,13 @@ struct RecoveryResult {
   bool fell_through{false};
   /// escalate_repair could not even start (victim id names no circuit).
   bool plan_failure{false};
+  /// Even the final unbounded climb ended in transient failures (gray
+  /// faults; see EscalationOptions::transient_failure).  The victim circuit
+  /// is still established — the caller should wait out the disturbance and
+  /// drive recovery again rather than degrade.
+  bool transient_failed{false};
+  /// Transiently failed ladder attempts summed over all climbs.
+  std::uint32_t transient_failures{0};
   routing::RepairRung rung{routing::RepairRung::kRackMigration};
   /// Circuits carrying the traffic after an optical recovery (see
   /// EscalationOutcome::circuits).
@@ -56,9 +70,11 @@ struct RecoveryResult {
   std::uint32_t climbs{0};
   /// Ladder attempts per rung summed over all climbs.
   std::array<std::uint32_t, routing::kRepairRungCount> rung_attempts{};
-  /// Wall clock spent inside the ladder (probes + programming + settles).
+  /// Wall clock spent inside the ladder (probes + programming + settles,
+  /// intra-rung backoff waits included).
   Duration repair_latency{Duration::zero()};
-  /// Wall clock spent waiting between climbs.
+  /// Wall clock spent waiting *between* climbs (the ladder's own intra-rung
+  /// waits are inside repair_latency).
   Duration backoff_latency{Duration::zero()};
 
   [[nodiscard]] Duration total() const { return repair_latency + backoff_latency; }

@@ -1,6 +1,7 @@
 #include "runtime/training_run.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <optional>
 
@@ -55,7 +56,8 @@ TrainingRun::TrainingRun(const RunConfig& config)
       injector_{fab_, config.model, config.seed},
       monitor_{config.health},
       cache_{fab_},
-      tuner_{coll::TunerParams{.alpha = config.cost.alpha}} {
+      tuner_{coll::TunerParams{.alpha = config.cost.alpha}},
+      damper_{config.damper} {
   // Fiber bundles between wafer 0's east column and wafer 1's west column,
   // one per row, generously sized so fibers are never the binding resource.
   const auto& w = fab_.wafer(0);
@@ -182,7 +184,7 @@ Duration TrainingRun::shrink_ring(std::size_t i, RunReport& report) {
 }
 
 Duration TrainingRun::recover_dead_member(std::size_t i, RunReport& report,
-                                          bool& removed) {
+                                          bool& removed, bool assume_dead) {
   Duration dur = Duration::zero();
   const std::size_t n = members_.size();
   const std::size_t pe = (i + n - 1) % n;
@@ -194,8 +196,14 @@ Duration TrainingRun::recover_dead_member(std::size_t i, RunReport& report,
   routing::EscalationOptions opts = base_options();
   opts.spare_candidates = free_tiles();
   const auto diag_in = monitor_.diagnose(fab_, cumulative_, in_id);
+  routing::DegradedCircuit victim_in = fault::to_degraded(diag_in);
+  // Misclassification path: the diagnosis is healthy (the member only
+  // flaps), but the controller has decided it is dead — force the flags so
+  // the ladder anchors the respare on the surviving neighbor, exactly as it
+  // would for a genuinely dead chip.
+  if (assume_dead) victim_in.dst_dead = true;
   const RecoveryResult res_in =
-      drive_recovery(fab_, fault::to_degraded(diag_in), config_.recovery, opts);
+      drive_recovery(fab_, victim_in, config_.recovery, opts);
   dur += res_in.total();
   if (res_in.recovered && res_in.rung == routing::RepairRung::kRespare &&
       res_in.circuits.size() == 2) {
@@ -208,8 +216,10 @@ Duration TrainingRun::recover_dead_member(std::size_t i, RunReport& report,
     routing::EscalationOptions opts_out = base_options();
     opts_out.spare_candidates = {spare};
     const auto diag_out = monitor_.diagnose(fab_, cumulative_, out_id);
+    routing::DegradedCircuit victim_out = fault::to_degraded(diag_out);
+    if (assume_dead) victim_out.src_dead = true;
     const RecoveryResult res_out =
-        drive_recovery(fab_, fault::to_degraded(diag_out), config_.recovery, opts_out);
+        drive_recovery(fab_, victim_out, config_.recovery, opts_out);
     dur += res_out.total();
     if (res_out.recovered && res_out.rung == routing::RepairRung::kRespare &&
         res_out.circuits.size() == 2) {
@@ -226,6 +236,80 @@ Duration TrainingRun::recover_dead_member(std::size_t i, RunReport& report,
   dur += shrink_ring(i, report);
   removed = true;
   return dur;
+}
+
+TrainingRun::EventOutcome TrainingRun::play_gray_episode(Duration t0, Rng& gray_stream,
+                                                         RunReport& report) {
+  EventOutcome out;
+  // The flapping component: the source transceiver of a uniformly chosen
+  // ring edge (the same spatial granularity the permanent injector uses).
+  const std::size_t e = gray_stream.uniform_index(circuits_.size());
+  const fabric::Circuit* c = fab_.circuit(circuits_[e]);
+  if (c == nullptr || c->segments.empty() || c->segments.front().hops.empty()) {
+    return out;  // collapsed edge; nothing to flap
+  }
+  const fabric::GlobalTile tile{c->segments.front().wafer, c->segments.front().from};
+  const fabric::Direction dir = c->segments.front().hops.front();
+  const fault::GrayEpisode ep =
+      injector_.sample_gray_at(gray_stream, config_.gray, tile, dir);
+  const std::uint64_t key = fault::gray_component_key(tile, dir);
+  const bool photonic = config_.policy == RunPolicy::kPhotonicRepair;
+
+  for (std::size_t k = 0; k < ep.trace.dips(); ++k) {
+    const Duration t_dip = t0 + Duration::seconds(ep.trace.dip_start(k));
+    ++report.flap_transitions;
+    // The link is dark for the dip either way: the ring stalls.
+    const Duration dark = Duration::seconds(ep.trace.dip_seconds(k));
+    out.recovery += dark;
+    report.flap_stall += dark;
+    // The electrical baseline has no optical controller to thrash; it just
+    // rides the dips out (gray-vs-gray comparisons are photonic-only).
+    if (!photonic) continue;
+    gray_now_ = t_dip;
+    if (config_.gray_hysteresis) {
+      const fault::LinkState st = damper_.record_flap(key, t_dip);
+      if (st == fault::LinkState::kQuarantined) continue;  // ride it out
+    }
+    // Repair-on-transition: the climb runs entirely inside the
+    // milliseconds-long dip, so every microseconds-long programming attempt
+    // fails transiently — the ladder thrashes and rolls back.
+    routing::DegradedCircuit victim;
+    victim.id = circuits_[e];
+    victim.hard_down = true;
+    routing::EscalationOptions opts = base_options();
+    opts.transient_failure = [](routing::RepairRung, std::uint32_t) { return true; };
+    const RecoveryResult res = drive_recovery(fab_, victim, config_.recovery, opts);
+    ++report.flap_repairs;
+    report.transient_repair_failures += res.transient_failures;
+    out.recovery += res.total();
+    if (!config_.gray_hysteresis) {
+      const std::uint32_t seen = ++dips_seen_[key];
+      if (seen >= config_.naive_misclassify_after) {
+        // The naive controller has watched the same component "fail"
+        // repeatedly and declares the chip dead: a full respare with state
+        // loss — the gray failure priced as fail-stop.
+        ++report.misclassifications;
+        bool removed = false;
+        out.recovery += recover_dead_member(e, report, removed, /*assume_dead=*/true);
+        out.state_loss = true;
+        dips_seen_.erase(key);
+        break;  // the flapper left the ring; the remaining dips are latent
+      }
+    }
+  }
+
+  // BER-burst rider: excess loss below the health margin, so diagnosis
+  // stays healthy while delivered goodput drops to ber_goodput_factor for
+  // the burst.  Both arms pay it identically — only end-to-end accounting
+  // sees a fabric that lies.
+  if (ep.ber_burst) {
+    ++report.ber_bursts;
+    const double factor = std::max(ep.ber_goodput_factor, 0.05);
+    const Duration extra = Duration::seconds(ep.ber_seconds * (1.0 / factor - 1.0));
+    report.ber_slowdown += extra;
+    out.recovery += extra;
+  }
+  return out;
 }
 
 TrainingRun::EventOutcome TrainingRun::recover_photonic(RunReport& report) {
@@ -300,6 +384,28 @@ RunReport TrainingRun::run() {
                             ? config_.script.front().at
                             : Duration::seconds(arrivals.exponential(rate_per_sec));
 
+  // Gray (flap) episodes: an independent Poisson process on its own pair of
+  // streams, so enabling the gray layer never perturbs the permanent fault
+  // timeline (and flap_rate_per_hour == 0 reproduces it bit-identically).
+  const bool gray_on = config_.flap_rate_per_hour > 0.0;
+  const double gray_rate_per_sec = static_cast<double>(members_.size()) *
+                                   config_.flap_rate_per_hour / 3600.0;
+  Rng gray_arrivals{util::task_seed(config_.seed, 4)};
+  Rng gray_stream{util::task_seed(config_.seed, 5)};
+  Duration next_gray =
+      gray_on ? Duration::seconds(gray_arrivals.exponential(gray_rate_per_sec))
+              : Duration::infinite();
+  if (gray_on && config_.gray_hysteresis &&
+      config_.policy == RunPolicy::kPhotonicRepair) {
+    // Quarantined components are unusable for *new* routes without touching
+    // the fabric epoch: the cache's memoized plans survive the quarantine
+    // and are warm again the moment the hold lifts.
+    cache_.set_quarantine([this](fabric::GlobalTile t, fabric::Direction d) {
+      return damper_.state(fault::gray_component_key(t, d), gray_now_) ==
+             fault::LinkState::kQuarantined;
+    });
+  }
+
   Duration clock = Duration::zero();
   Duration last_checkpoint = Duration::zero();
   std::uint32_t completed = 0;
@@ -309,8 +415,12 @@ RunReport TrainingRun::run() {
                                                 steady_bucket_comm_);
     const Duration iter_dur = timeline.report.iteration;
     const bool fault_pending = !scripted || script_idx < config_.script.size();
-    const Duration t_f = std::max(next_fault, clock);
-    if (!fault_pending || t_f >= clock + iter_dur) {
+    const Duration t_fault =
+        fault_pending ? std::max(next_fault, clock) : Duration::infinite();
+    const Duration t_gray = std::max(next_gray, clock);
+    const bool gray_first = t_gray < t_fault;
+    const Duration t_f = gray_first ? t_gray : t_fault;
+    if (t_f >= clock + iter_dur) {
       clock += iter_dur;
       ++completed;
       if (clock - last_checkpoint >= config_.checkpoint_interval) {
@@ -319,68 +429,77 @@ RunReport TrainingRun::run() {
       continue;
     }
 
-    // A fault strikes inside this iteration.
+    // An event strikes inside this iteration.
     const Duration offset = t_f - clock;
-    const bool mid_collective = timeline.collective_in_flight(offset);
-    std::vector<fault::Fault> faults;
-    if (scripted) {
-      faults = config_.script[script_idx].faults;
-      ++script_idx;
+    EventOutcome outcome;
+    if (gray_first) {
+      ++report.flap_episodes;
+      gray_now_ = t_f;
+      outcome = play_gray_episode(t_f, gray_stream, report);
     } else {
-      faults = injector_.sample(fault_stream);
-    }
-    ++report.fault_events;
-    report.faults_injected += faults.size();
-    if (mid_collective) ++report.mid_collective_faults;
+      const bool mid_collective = timeline.collective_in_flight(offset);
+      std::vector<fault::Fault> faults;
+      if (scripted) {
+        faults = config_.script[script_idx].faults;
+        ++script_idx;
+      } else {
+        faults = injector_.sample(fault_stream);
+      }
+      ++report.fault_events;
+      report.faults_injected += faults.size();
+      if (mid_collective) ++report.mid_collective_faults;
 
-    fault::FaultSet ev;
-    ev.add_all(faults);
-    ev.apply_to(fab_, config_.model.quarantine_threshold);
-    applied_.push_back(std::move(ev));
-    cumulative_.add_all(faults);
+      fault::FaultSet ev;
+      ev.add_all(faults);
+      ev.apply_to(fab_, config_.model.quarantine_threshold);
+      applied_.push_back(std::move(ev));
+      cumulative_.add_all(faults);
 
-    bool any_unhealthy = false;
-    for (const fabric::CircuitId id : circuits_) {
-      if (monitor_.diagnose(fab_, cumulative_, id).health !=
-          fault::CircuitHealth::kHealthy) {
-        any_unhealthy = true;
-        break;
+      bool any_unhealthy = false;
+      for (const fabric::CircuitId id : circuits_) {
+        if (monitor_.diagnose(fab_, cumulative_, id).health !=
+            fault::CircuitHealth::kHealthy) {
+          any_unhealthy = true;
+          break;
+        }
+      }
+      if (!any_unhealthy) {
+        // Latent fault: no ring circuit degraded, training never notices.
+        next_fault = scripted
+                         ? (script_idx < config_.script.size()
+                                ? config_.script[script_idx].at
+                                : Duration::infinite())
+                         : t_f + Duration::seconds(arrivals.exponential(rate_per_sec));
+        continue;
+      }
+      ++report.detections;
+      gray_now_ = t_f;  // keep the quarantine view current for the repairs
+
+      if (config_.policy == RunPolicy::kElectricalMigration) {
+        // Rack-granularity baseline: any degraded circuit drains the job and
+        // restarts it on fresh hardware — which also clears the fault
+        // overlay.
+        ++report.migrations;
+        outcome.recovery = config_.migration_latency;
+        outcome.state_loss = true;
+        for (auto it = applied_.rbegin(); it != applied_.rend(); ++it) {
+          it->revert(fab_);
+        }
+        applied_.clear();
+        cumulative_ = fault::FaultSet{};
+      } else {
+        outcome = recover_photonic(report);
       }
     }
-    if (!any_unhealthy) {
-      // Latent fault: no ring circuit degraded, training never notices.
-      next_fault = scripted
-                       ? (script_idx < config_.script.size()
-                              ? config_.script[script_idx].at
-                              : Duration::infinite())
-                       : t_f + Duration::seconds(arrivals.exponential(rate_per_sec));
-      continue;
-    }
-    ++report.detections;
 
     // Heartbeat detection: noticed at the first tick at or after the
-    // strike, diagnosed detection_latency later.
+    // strike, diagnosed detection_latency later (gray episodes charge it
+    // identically in both arms — the controller still has to look).
     const double hb = config_.recovery.heartbeat_interval.to_seconds();
     const Duration detect_done =
         Duration::seconds(std::ceil(t_f.to_seconds() / hb) * hb) +
         config_.recovery.detection_latency;
     report.lost.detection += detect_done - t_f;
-
-    EventOutcome outcome;
-    if (config_.policy == RunPolicy::kElectricalMigration) {
-      // Rack-granularity baseline: any degraded circuit drains the job and
-      // restarts it on fresh hardware — which also clears the fault overlay.
-      ++report.migrations;
-      outcome.recovery = config_.migration_latency;
-      outcome.state_loss = true;
-      for (auto it = applied_.rbegin(); it != applied_.rend(); ++it) {
-        it->revert(fab_);
-      }
-      applied_.clear();
-      cumulative_ = fault::FaultSet{};
-    } else {
-      outcome = recover_photonic(report);
-    }
     report.lost.recovery += outcome.recovery;
 
     Duration resume = detect_done + outcome.recovery;
@@ -394,7 +513,7 @@ RunReport TrainingRun::run() {
       resume += redo;
       clock = resume;  // the interrupted iteration restarts under new costs
     } else {
-      // Pure stall (retune/reroute): the interrupted iteration picks up
+      // Pure stall (retune/reroute/dips): the interrupted iteration picks up
       // where it left off and finishes its remaining schedule.
       clock = resume + (iter_dur - offset);
       ++completed;
@@ -406,16 +525,24 @@ RunReport TrainingRun::run() {
 
     if (config_.policy == RunPolicy::kPhotonicRepair) rebuild_costs();
 
-    next_fault = scripted
-                     ? (script_idx < config_.script.size()
-                            ? config_.script[script_idx].at
-                            : Duration::infinite())
-                     : clock + Duration::seconds(arrivals.exponential(rate_per_sec));
+    if (gray_first) {
+      next_gray = clock + Duration::seconds(gray_arrivals.exponential(gray_rate_per_sec));
+    } else {
+      next_fault = scripted
+                       ? (script_idx < config_.script.size()
+                              ? config_.script[script_idx].at
+                              : Duration::infinite())
+                       : clock + Duration::seconds(arrivals.exponential(rate_per_sec));
+    }
   }
 
   report.iterations_completed = completed;
   report.ring_size_final = static_cast<std::uint32_t>(members_.size());
   report.wall_clock = clock;
+  report.suppressed_repairs = damper_.stats().suppressed_repairs;
+  report.quarantines = damper_.stats().quarantines;
+  report.probations = damper_.stats().probations;
+  report.relapses = damper_.stats().relapses;
   return report;
 }
 
@@ -471,6 +598,9 @@ ResilienceSweepReport run_resilience_sweep(const ResilienceSweepConfig& config) 
         pt.rollbacks += r.rollbacks;
         pt.elastic_shrinks += r.elastic_shrinks;
         pt.migrations += r.migrations;
+        pt.transient_repair_failures += r.transient_repair_failures;
+        pt.suppressed_repairs += r.suppressed_repairs;
+        pt.quarantines += r.quarantines;
         for (std::size_t k = 0; k < routing::kRepairRungCount; ++k) {
           pt.recovered_by[k] += r.recovered_by[k];
         }
@@ -486,6 +616,98 @@ ResilienceSweepReport run_resilience_sweep(const ResilienceSweepConfig& config) 
         pt.recover_p50_seconds = percentile(recover_all, 50.0);
         pt.recover_p99_seconds = percentile(recover_all, 99.0);
       }
+      out.points.push_back(pt);
+    }
+  }
+  return out;
+}
+
+std::uint64_t GraySweepReport::digest() const {
+  std::uint64_t h = 0;
+  const auto mix_double = [&](double v) {
+    h = fabric::hash_mix(h, std::bit_cast<std::uint64_t>(v));
+  };
+  for (const GrayPointReport& pt : points) {
+    mix_double(pt.flap_rate_per_hour);
+    h = fabric::hash_mix(h, pt.hysteresis ? 1u : 0u);
+    h = fabric::hash_mix(h, pt.trials);
+    mix_double(pt.goodput_mean);
+    mix_double(pt.goodput_min);
+    mix_double(pt.goodput_max);
+    h = fabric::hash_mix(h, pt.flap_episodes);
+    h = fabric::hash_mix(h, pt.flap_transitions);
+    h = fabric::hash_mix(h, pt.flap_repairs);
+    h = fabric::hash_mix(h, pt.suppressed_repairs);
+    h = fabric::hash_mix(h, pt.quarantines);
+    h = fabric::hash_mix(h, pt.probations);
+    h = fabric::hash_mix(h, pt.relapses);
+    h = fabric::hash_mix(h, pt.misclassifications);
+    h = fabric::hash_mix(h, pt.rollbacks);
+    h = fabric::hash_mix(h, pt.transient_repair_failures);
+    h = fabric::hash_mix(h, pt.ber_bursts);
+    mix_double(pt.flap_stall_seconds);
+    mix_double(pt.ber_slowdown_seconds);
+  }
+  return h;
+}
+
+GraySweepReport run_gray_sweep(const GraySweepConfig& config) {
+  const std::size_t trials = config.trials;
+  const std::size_t per_point = trials * 2;  // hysteresis arm + naive arm
+  const std::size_t total = config.flap_rates_per_hour.size() * per_point;
+
+  std::vector<RunReport> reports(total);
+  const unsigned threads =
+      config.threads != 0 ? config.threads : util::env_threads();
+  std::optional<util::ThreadPool> local;
+  util::ThreadPool& pool =
+      threads == 0 ? util::ThreadPool::shared() : local.emplace(threads);
+  pool.run(total, [&](std::size_t idx, unsigned) {
+    const std::size_t p = idx / per_point;
+    const std::size_t rem = idx % per_point;
+    const bool hysteresis = rem < trials;
+    const std::size_t trial = hysteresis ? rem : rem - trials;
+    RunConfig rc = config.base;
+    rc.policy = RunPolicy::kPhotonicRepair;
+    rc.flap_rate_per_hour = config.flap_rates_per_hour[p];
+    rc.gray_hysteresis = hysteresis;
+    // Both arms of a (rate, trial) pair share a seed, so they face the
+    // identical episode timeline — a paired comparison.
+    rc.seed = util::task_seed(config.base.seed, p * trials + trial);
+    TrainingRun run{rc};
+    reports[idx] = run.run();
+  });
+
+  // Fold in ascending task order: bit-identical at any thread count.
+  GraySweepReport out;
+  for (std::size_t p = 0; p < config.flap_rates_per_hour.size(); ++p) {
+    for (int arm = 0; arm < 2; ++arm) {
+      GrayPointReport pt;
+      pt.flap_rate_per_hour = config.flap_rates_per_hour[p];
+      pt.hysteresis = arm == 0;
+      pt.trials = config.trials;
+      for (std::size_t t = 0; t < trials; ++t) {
+        const RunReport& r =
+            reports[p * per_point + static_cast<std::size_t>(arm) * trials + t];
+        const double g = r.goodput();
+        pt.goodput_mean += g;
+        pt.goodput_min = std::min(pt.goodput_min, g);
+        pt.goodput_max = std::max(pt.goodput_max, g);
+        pt.flap_episodes += r.flap_episodes;
+        pt.flap_transitions += r.flap_transitions;
+        pt.flap_repairs += r.flap_repairs;
+        pt.suppressed_repairs += r.suppressed_repairs;
+        pt.quarantines += r.quarantines;
+        pt.probations += r.probations;
+        pt.relapses += r.relapses;
+        pt.misclassifications += r.misclassifications;
+        pt.rollbacks += r.rollbacks;
+        pt.transient_repair_failures += r.transient_repair_failures;
+        pt.ber_bursts += r.ber_bursts;
+        pt.flap_stall_seconds += r.flap_stall.to_seconds();
+        pt.ber_slowdown_seconds += r.ber_slowdown.to_seconds();
+      }
+      pt.goodput_mean /= static_cast<double>(trials);
       out.points.push_back(pt);
     }
   }

@@ -34,6 +34,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "collective/autotuner.hpp"
@@ -41,6 +42,7 @@
 #include "collective/schedule.hpp"
 #include "core/training_sim.hpp"
 #include "fault/fault.hpp"
+#include "fault/gray.hpp"
 #include "fault/health.hpp"
 #include "lightpath/fabric.hpp"
 #include "routing/plan_cache.hpp"
@@ -101,6 +103,24 @@ struct RunConfig {
   /// Non-empty replaces the Poisson fault timeline entirely (entries fire
   /// in order; an entry scheduled in the past fires immediately).
   std::vector<ScriptedFault> script;
+
+  // -- Gray-failure layer (fault/gray.hpp). ---------------------------------
+  /// Expected gray (flap) episodes per chip-hour, Poisson over the ring
+  /// members exactly like mtbf_hours.  Zero disables the layer entirely:
+  /// the pre-gray timeline and report are bit-identical.
+  double flap_rate_per_hour{0.0};
+  fault::GrayModelParams gray{};
+  /// true: flaps feed a FlapDamper; quarantined components ride out their
+  /// dips (repairs suppressed, plan-cache quarantine view installed) and
+  /// are never misclassified.  false: the naive baseline — every observed
+  /// down-transition climbs the repair ladder, and after
+  /// naive_misclassify_after dips the controller declares the chip dead and
+  /// respares it (state loss), pricing the gray failure as fail-stop.
+  bool gray_hysteresis{true};
+  fault::FlapDamperParams damper{};
+  /// Dips the naive controller tolerates on one component before
+  /// misclassifying it as chip death.
+  std::uint32_t naive_misclassify_after{3};
 };
 
 /// Where the goodput went.  Lost work per fault = work replayed since the
@@ -134,6 +154,29 @@ struct RunReport {
   /// and migrations are counted separately above).
   std::array<std::uint64_t, routing::kRepairRungCount> recovered_by{};
   LostWork lost{};
+  // -- Gray-failure accounting (all zero when flap_rate_per_hour == 0). -----
+  std::uint64_t flap_episodes{0};
+  /// Observed down-transitions (dips) across all episodes.
+  std::uint64_t flap_transitions{0};
+  /// Repair-ladder climbs triggered by flaps (each one thrashes: every
+  /// attempt inside a dip fails transiently).
+  std::uint64_t flap_repairs{0};
+  /// Flap-triggered climbs the damper suppressed while quarantined.
+  std::uint64_t suppressed_repairs{0};
+  std::uint64_t quarantines{0};
+  std::uint64_t probations{0};
+  std::uint64_t relapses{0};
+  /// Naive baseline only: flapping components respared as dead chips.
+  std::uint64_t misclassifications{0};
+  /// Transiently failed ladder attempts across all flap-triggered climbs.
+  std::uint64_t transient_repair_failures{0};
+  std::uint64_t ber_bursts{0};
+  /// Wall clock the ring spent dark inside dips.
+  Duration flap_stall{Duration::zero()};
+  /// Extra wall clock charged by BER bursts (goodput runs at
+  /// ber_goodput_factor while the burst is active, invisible to the 0.5 dB
+  /// health check).
+  Duration ber_slowdown{Duration::zero()};
   /// iterations x the policy's own healthy iteration time.
   Duration ideal_time{Duration::zero()};
   Duration wall_clock{Duration::zero()};
@@ -185,9 +228,16 @@ class TrainingRun {
   [[nodiscard]] std::vector<fabric::GlobalTile> free_tiles() const;
   [[nodiscard]] routing::EscalationOptions base_options() const;
   EventOutcome recover_photonic(RunReport& report);
+  /// `assume_dead` forces the dead-endpoint flags onto the victim edges even
+  /// though the diagnosis is healthy — the naive controller misclassifying a
+  /// flapping member as chip death (the member genuinely leaves the ring).
   [[nodiscard]] Duration recover_dead_member(std::size_t i, RunReport& report,
-                                             bool& removed);
+                                             bool& removed, bool assume_dead = false);
   [[nodiscard]] Duration shrink_ring(std::size_t i, RunReport& report);
+  /// Plays one gray episode arriving at `t0` to completion: dip stalls,
+  /// per-dip controller response (thrash or dampening), misclassification,
+  /// and the BER-burst rider.
+  EventOutcome play_gray_episode(Duration t0, Rng& gray_stream, RunReport& report);
 
   RunConfig config_;
   fabric::Fabric fab_;
@@ -214,6 +264,13 @@ class TrainingRun {
   /// Per-event applied overlays, in arrival order (reverted on electrical
   /// migration's fresh rack; otherwise live until the run ends).
   std::vector<fault::FaultSet> applied_;
+  /// Flap-dampening hysteresis over gray components (gray_hysteresis mode).
+  fault::FlapDamper damper_;
+  /// Naive mode: dips observed per component, driving misclassification.
+  std::map<std::uint64_t, std::uint32_t> dips_seen_;
+  /// Simulation time the cache's quarantine predicate evaluates damper
+  /// state at (kept current by the event loop).
+  Duration gray_now_{Duration::zero()};
 };
 
 /// MTBF sweep: photonic vs electrical goodput, aggregated over trials.
@@ -243,6 +300,12 @@ struct MtbfPointReport {
   std::uint64_t rollbacks{0};
   std::uint64_t elastic_shrinks{0};
   std::uint64_t migrations{0};
+  /// Gray-failure counters (zero unless base.flap_rate_per_hour > 0): kept
+  /// in the artifact so flap behavior is tracked over time alongside the
+  /// fail-stop columns instead of conflated into "unrecovered".
+  std::uint64_t transient_repair_failures{0};
+  std::uint64_t suppressed_repairs{0};
+  std::uint64_t quarantines{0};
   std::array<std::uint64_t, routing::kRepairRungCount> recovered_by{};
 };
 
@@ -256,5 +319,59 @@ struct ResilienceSweepReport {
 /// fold in ascending flat-index order: bit-identical at any thread count.
 [[nodiscard]] ResilienceSweepReport run_resilience_sweep(
     const ResilienceSweepConfig& config = {});
+
+// ---------------------------------------------------------------------------
+// Gray-failure sweep: hysteresis+backoff vs naive repair-on-every-transition.
+// ---------------------------------------------------------------------------
+
+struct GraySweepConfig {
+  /// Policy is forced to kPhotonicRepair; flap_rate_per_hour and
+  /// gray_hysteresis are overwritten per point/arm.
+  RunConfig base{};
+  std::vector<double> flap_rates_per_hour{1.0, 2.0, 4.0, 8.0, 16.0};
+  std::uint32_t trials{4};
+  /// 0 consults LIGHTPATH_THREADS (util::env_threads), then falls back to
+  /// the shared pool.  The report is bit-identical for every value.
+  unsigned threads{0};
+};
+
+struct GrayPointReport {
+  double flap_rate_per_hour{0.0};
+  bool hysteresis{false};
+  std::uint32_t trials{0};
+  double goodput_mean{0.0};
+  double goodput_min{1.0};
+  double goodput_max{0.0};
+  /// Counters summed over trials.
+  std::uint64_t flap_episodes{0};
+  std::uint64_t flap_transitions{0};
+  std::uint64_t flap_repairs{0};
+  std::uint64_t suppressed_repairs{0};
+  std::uint64_t quarantines{0};
+  std::uint64_t probations{0};
+  std::uint64_t relapses{0};
+  std::uint64_t misclassifications{0};
+  std::uint64_t rollbacks{0};
+  std::uint64_t transient_repair_failures{0};
+  std::uint64_t ber_bursts{0};
+  double flap_stall_seconds{0.0};
+  double ber_slowdown_seconds{0.0};
+};
+
+struct GraySweepReport {
+  /// One entry per (flap rate x arm), hysteresis first within each rate.
+  std::vector<GrayPointReport> points;
+
+  /// Order-sensitive fold of every field — the bit-identity witness for the
+  /// 1/2/8-thread determinism check.
+  [[nodiscard]] std::uint64_t digest() const;
+};
+
+/// Deterministic parallel sweep over (flap rate x arm x trial).  Both arms
+/// of a (rate, trial) pair share seed task_seed(base.seed, p * trials +
+/// trial), so hysteresis and naive face the identical episode timeline — a
+/// paired comparison.  Results fold in ascending flat-index order:
+/// bit-identical at any thread count.
+[[nodiscard]] GraySweepReport run_gray_sweep(const GraySweepConfig& config = {});
 
 }  // namespace lp::runtime

@@ -60,7 +60,18 @@ class ServingSim {
         monitor_{params.health},
         injector_{fab_, params.fault_model, util::task_seed(params.seed, 0)},
         gen_{params.traffic, params.replicas, params.seed},
-        fault_rng_{util::task_seed(params.seed, 3)} {
+        fault_rng_{util::task_seed(params.seed, 3)},
+        gray_rng_{util::task_seed(params.seed, 4)},
+        damper_{params.damper} {
+    if (params.flap_rate_per_hour > 0.0 && params.gray_hysteresis) {
+      // Quarantined components are unusable for new routes without touching
+      // the fabric epoch — the cache stays warm across the hold.
+      cache_.set_quarantine([this](GlobalTile t, fabric::Direction d) {
+        return damper_.state(fault::gray_component_key(t, d),
+                             Duration::seconds(gray_now_)) ==
+               fault::LinkState::kQuarantined;
+      });
+    }
     tuner_rate_ = fab_.per_wavelength_rate() *
                   static_cast<double>(params.host.wavelengths_per_circuit);
     tuner_reconfig_ = fab_.reconfig().settle_latency();
@@ -77,6 +88,7 @@ class ServingSim {
   void arrival();
   void round(std::size_t r);
   void fault_event();
+  void gray_event();
   void detection();
 
   void kick(std::size_t r, double at);
@@ -98,6 +110,11 @@ class ServingSim {
   std::vector<fault::FaultSet> applied_;
   RequestGenerator gen_;
   Rng fault_rng_;
+  Rng gray_rng_;
+  fault::FlapDamper damper_;
+  /// Simulation time (seconds) the quarantine predicate evaluates damper
+  /// state at; kept current by the gray/fault event handlers.
+  double gray_now_{0.0};
   sim::EventEngine engine_;
   /// Picks expert-exchange and KV-migration shapes per (size bucket,
   /// replica fingerprint, fabric epoch).  The rate/reconfig pair below is
@@ -148,6 +165,13 @@ void ServingSim::schedule_first_events() {
     // recovery, not fresh damage.
     if (t_f < horizon) {
       engine_.schedule_at(TimePoint::at_seconds(t_f), [this] { fault_event(); });
+    }
+  }
+  if (params_.flap_rate_per_hour > 0.0 && chips > 0.0) {
+    const double rate = chips * params_.flap_rate_per_hour / 3600.0;
+    const double t_g = gray_rng_.exponential(rate);
+    if (t_g < horizon) {
+      engine_.schedule_at(TimePoint::at_seconds(t_g), [this] { gray_event(); });
     }
   }
 }
@@ -359,6 +383,72 @@ void ServingSim::fault_event() {
   }
 }
 
+void ServingSim::gray_event() {
+  const double now = now_s();
+  ++report_.flap_episodes;
+
+  // The flapping component: the source transceiver of a uniformly chosen
+  // backbone edge of a uniformly chosen online replica.
+  const std::size_t r0 = gray_rng_.uniform_index(replicas_.size());
+  const std::size_t r = resolve_online(r0);
+  if (r < replicas_.size() && !replicas_[r].backbone.empty()) {
+    Replica& rep = replicas_[r];
+    const std::size_t e = gray_rng_.uniform_index(rep.backbone.size());
+    const fabric::Circuit* c = fab_.circuit(rep.backbone[e]);
+    if (c != nullptr && !c->segments.empty() && !c->segments.front().hops.empty()) {
+      const GlobalTile tile{c->segments.front().wafer, c->segments.front().from};
+      const fabric::Direction dir = c->segments.front().hops.front();
+      const fault::GrayEpisode ep =
+          injector_.sample_gray_at(gray_rng_, params_.gray, tile, dir);
+      const std::uint64_t key = fault::gray_component_key(tile, dir);
+
+      double pause = 0.0;  // replica hold accumulated across the episode
+      for (std::size_t k = 0; k < ep.trace.dips(); ++k) {
+        const double t_dip = now + ep.trace.dip_start(k);
+        ++report_.flap_transitions;
+        pause += ep.trace.dip_seconds(k);  // the backbone edge is dark
+        gray_now_ = t_dip;
+        if (params_.gray_hysteresis) {
+          const fault::LinkState st =
+              damper_.record_flap(key, Duration::seconds(t_dip));
+          if (st == fault::LinkState::kQuarantined) continue;  // ride it out
+        }
+        // Repair-on-transition: the climb runs entirely inside the dip, so
+        // every programming attempt fails transiently — pure thrash, plus a
+        // host-circuit flush (the reconfiguration attempt churns the cached
+        // lanes, so subsequent sends re-plan and pay r).
+        routing::DegradedCircuit victim;
+        victim.id = rep.backbone[e];
+        victim.hard_down = true;
+        routing::EscalationOptions opts = base_options();
+        opts.transient_failure = [](routing::RepairRung, std::uint32_t) {
+          return true;
+        };
+        const auto res =
+            runtime::drive_recovery(fab_, victim, params_.recovery, opts);
+        ++report_.flap_repairs;
+        report_.transient_repair_failures += res.transient_failures;
+        pause += res.total().to_seconds();
+        host_.flush();
+        ++report_.churn_flushes;
+      }
+      if (pause > 0.0) {
+        rep.paused_until = std::max(rep.paused_until, now + pause);
+        report_.flap_stall += Duration::seconds(pause);
+        if (!rep.batch.empty() || !rep.queue.empty()) kick(r, rep.paused_until);
+      }
+    }
+  }
+
+  const double chips =
+      static_cast<double>(params_.replicas) * params_.tiles_per_replica;
+  const double rate = chips * params_.flap_rate_per_hour / 3600.0;
+  const double next = now + gray_rng_.exponential(rate);
+  if (next < params_.horizon.to_seconds()) {
+    engine_.schedule_at(TimePoint::at_seconds(next), [this] { gray_event(); });
+  }
+}
+
 routing::EscalationOptions ServingSim::base_options() {
   routing::EscalationOptions opts;
   opts.wavelengths = params_.backbone_wavelengths;
@@ -386,6 +476,7 @@ void ServingSim::take_offline(std::size_t r) {
 void ServingSim::detection() {
   const double now = now_s();
   ++report_.detections;
+  gray_now_ = std::max(gray_now_, now);  // keep the quarantine view current
   // Quarantined lanes invalidate cached routes: drop every host circuit so
   // subsequent sends re-plan around the damage (the churn the bench sweeps).
   host_.flush();
@@ -444,6 +535,8 @@ ServingReport ServingSim::run() {
     report_.p50 = report_.p99 = report_.p999 = Duration::zero();
   }
   report_.host = host_.stats();
+  report_.suppressed_repairs = damper_.stats().suppressed_repairs;
+  report_.quarantines = damper_.stats().quarantines;
 
   std::uint64_t d = report_.digest;
   d = fabric::hash_mix(d, report_.offered);
@@ -455,6 +548,13 @@ ServingReport ServingSim::run() {
   d = fabric::hash_mix(d, report_.repair_failures);
   d = fabric::hash_mix(d, report_.expert_ring_rounds);
   d = fabric::hash_mix(d, report_.kv_striped);
+  d = fabric::hash_mix(d, report_.flap_episodes);
+  d = fabric::hash_mix(d, report_.flap_transitions);
+  d = fabric::hash_mix(d, report_.flap_repairs);
+  d = fabric::hash_mix(d, report_.suppressed_repairs);
+  d = fabric::hash_mix(d, report_.quarantines);
+  d = fabric::hash_mix(d, report_.transient_repair_failures);
+  d = fabric::hash_mix(d, std::bit_cast<std::uint64_t>(report_.flap_stall.to_seconds()));
   d = fabric::hash_mix(d, fab_.ledger_digest());
   report_.digest = d;
   report_.latencies = std::move(latencies_);

@@ -28,6 +28,7 @@
 
 #include "core/host_stack.hpp"
 #include "fault/fault.hpp"
+#include "fault/gray.hpp"
 #include "fault/health.hpp"
 #include "runtime/recovery.hpp"
 #include "serve/workload.hpp"
@@ -74,6 +75,17 @@ struct ServingParams {
   fault::HealthMonitorParams health{};
   runtime::RecoveryPolicy recovery{};
 
+  /// Gray (flap) episodes per chip-hour on the replica backbones, Poisson
+  /// like mtbf_hours (0 disables the layer; the pre-gray report is
+  /// bit-identical).  Dips pause the replica; the controller response
+  /// depends on gray_hysteresis: naive thrashes the repair ladder (and
+  /// flushes the host circuit cache) on every transition, dampened
+  /// quarantines the flapper and rides the dips out.
+  double flap_rate_per_hour{0.0};
+  fault::GrayModelParams gray{};
+  bool gray_hysteresis{true};
+  fault::FlapDamperParams damper{};
+
   std::uint64_t seed{0x5e12e};
 };
 
@@ -109,6 +121,18 @@ struct ServingReport {
   std::uint64_t replicas_offline{0};
   /// Summed replica pause time charged by detection + repair ladders.
   Duration stall_time{Duration::zero()};
+  /// Gray-failure accounting (all zero when flap_rate_per_hour == 0).
+  std::uint64_t flap_episodes{0};
+  std::uint64_t flap_transitions{0};
+  /// Flap-triggered ladder climbs (each thrashes: every attempt inside a
+  /// dip fails transiently) — the naive arm's per-transition cost.
+  std::uint64_t flap_repairs{0};
+  /// Flap-triggered climbs the damper suppressed while quarantined.
+  std::uint64_t suppressed_repairs{0};
+  std::uint64_t quarantines{0};
+  std::uint64_t transient_repair_failures{0};
+  /// Summed replica pause charged by dips + flap thrash.
+  Duration flap_stall{Duration::zero()};
 
   Duration p50{Duration::zero()};
   Duration p99{Duration::zero()};

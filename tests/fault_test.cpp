@@ -12,9 +12,11 @@
 
 #include "core/failure_study.hpp"
 #include "fault/fault.hpp"
+#include "fault/gray.hpp"
 #include "fault/health.hpp"
 #include "lightpath/fabric.hpp"
 #include "routing/repair.hpp"
+#include "util/parallel.hpp"
 
 namespace lp::fault {
 namespace {
@@ -529,6 +531,169 @@ TEST(ComponentStudy, BurstsRaiseTheDegradedCount) {
   EXPECT_EQ(a.bursts, 0u);
   EXPECT_EQ(b.bursts, b.fault_events);
   EXPECT_GT(b.faults_injected, a.faults_injected);
+}
+
+// --- Gray failures: flap traces, the settle oracle, and the damper --------
+
+TEST(Gray, FlapTraceIsAPureFunctionOfItsStreamAndWellFormed) {
+  const Fabric fab = two_wafer_fabric();
+  const FaultInjector injector{fab, {}, 42};
+  const GrayModelParams params;
+  for (std::uint64_t episode = 0; episode < 32; ++episode) {
+    Rng a{util::task_seed(0xf1a9, episode)};
+    Rng b{util::task_seed(0xf1a9, episode)};
+    const GrayEpisode e1 = injector.sample_gray_at(a, params, {0, 1}, Direction::kEast);
+    const GrayEpisode e2 = injector.sample_gray_at(b, params, {0, 1}, Direction::kEast);
+    EXPECT_EQ(e1.trace.toggles(), e2.trace.toggles())
+        << "episode " << episode << ": a trace must be a pure function of its stream";
+    EXPECT_EQ(e1.ber_burst, e2.ber_burst);
+    EXPECT_EQ(e1.ber_seconds, e2.ber_seconds);
+
+    const auto& tg = e1.trace.toggles();
+    ASSERT_FALSE(tg.empty());
+    ASSERT_EQ(tg.size() % 2, 0u) << "every episode ends re-locked";
+    EXPECT_EQ(tg.front(), 0.0) << "an episode begins with the link dropping";
+    for (std::size_t i = 0; i + 1 < tg.size(); ++i) {
+      EXPECT_LT(tg[i], tg[i + 1]) << "toggle times strictly increase";
+    }
+    EXPECT_GE(e1.trace.dips(), 1u);
+    EXPECT_LE(e1.trace.dips(), params.max_dips);
+    double down_total = 0.0;
+    for (std::size_t k = 0; k < e1.trace.dips(); ++k) {
+      EXPECT_TRUE(e1.trace.down_at(e1.trace.dip_start(k)));
+      EXPECT_FALSE(e1.trace.down_at(tg[2 * k + 1]))
+          << "down intervals are half-open: up exactly at the re-lock";
+      down_total += e1.trace.dip_seconds(k);
+    }
+    EXPECT_DOUBLE_EQ(e1.trace.down_seconds(), down_total);
+    EXPECT_FALSE(e1.trace.down_at(e1.trace.duration_seconds()));
+  }
+}
+
+TEST(Gray, SampleGrayTrialIsSeededRegression) {
+  const Fabric fab = two_wafer_fabric();
+  const FaultInjector injector{fab, {}, 42};
+  const GrayModelParams params;
+  const GrayEpisode a = injector.sample_gray_trial(5, params);
+  const GrayEpisode b = injector.sample_gray_trial(5, params);
+  EXPECT_EQ(a.trace.toggles(), b.trace.toggles());
+  EXPECT_TRUE(a.tile == b.tile);
+  EXPECT_EQ(a.direction, b.direction);
+  const GrayEpisode c = injector.sample_gray_trial(6, params);
+  EXPECT_NE(a.trace.toggles(), c.trace.toggles())
+      << "distinct trials must draw distinct traces";
+  // Same component on both draws implies the damper key agrees too.
+  EXPECT_EQ(gray_component_key(a.tile, a.direction),
+            gray_component_key(b.tile, b.direction));
+}
+
+TEST(Gray, SettleTransientOracleIsDeterministic) {
+  for (std::uint64_t attempt = 0; attempt < 64; ++attempt) {
+    EXPECT_FALSE(settle_transient_failure(9, attempt, 0.0));
+    EXPECT_TRUE(settle_transient_failure(9, attempt, 1.0));
+    EXPECT_EQ(settle_transient_failure(9, attempt, 0.5),
+              settle_transient_failure(9, attempt, 0.5))
+        << "the oracle is a pure function of (seed, attempt)";
+  }
+  int hits = 0;
+  for (std::uint64_t attempt = 0; attempt < 256; ++attempt) {
+    hits += settle_transient_failure(1234, attempt, 0.5) ? 1 : 0;
+  }
+  EXPECT_GT(hits, 64);
+  EXPECT_LT(hits, 192);
+}
+
+TEST(Gray, BerBurstExcessStaysUnderTheHealthMargin) {
+  Fabric fab = two_wafer_fabric();
+  const auto id = fab.connect({0, 0}, {0, 3}, 2);
+  ASSERT_TRUE(id.ok());
+  const HealthMonitor monitor;
+  const GrayModelParams params;
+  ASSERT_LT(params.ber_excess.value(), monitor.params().min_margin.value())
+      << "the model keeps BER-burst excess under the degradation threshold";
+  FaultSet fs;
+  fs.add({.kind = FaultKind::kWaveguideLoss, .tile = {0, 0},
+          .direction = Direction::kEast, .excess_loss = params.ber_excess});
+  const auto d = monitor.diagnose(fab, fs, id.value());
+  EXPECT_EQ(d.health, CircuitHealth::kHealthy)
+      << "the fabric lies: a BER burst passes the health check";
+  EXPECT_DOUBLE_EQ(d.fault_excess.value(), params.ber_excess.value());
+}
+
+TEST(Damper, ThresholdAndHoldBoundariesArePinned) {
+  FlapDamper d;  // penalty 1.0, suspect 1.5, quarantine 3.0, holds 30 s / 15 s
+  const std::uint64_t k = 7;
+  EXPECT_EQ(d.state(k, Duration::zero()), LinkState::kHealthy);
+  EXPECT_EQ(d.record_flap(k, Duration::zero()), LinkState::kHealthy);  // score 1.0
+  EXPECT_EQ(d.record_flap(k, Duration::zero()), LinkState::kSuspect);  // 2.0 >= 1.5
+  EXPECT_EQ(d.record_flap(k, Duration::zero()), LinkState::kQuarantined)
+      << "score == quarantine_threshold escalates (closed boundary)";
+  EXPECT_EQ(d.stats().quarantines, 1u);
+  EXPECT_FALSE(d.repair_allowed(k, Duration::seconds(1.0)));
+
+  // Hold expiries are closed on the exit side: at exactly quarantine_hold
+  // the link has advanced to probation, at exactly +probation_hold it is
+  // healthy again, and the clean probation wiped the flap history.
+  EXPECT_EQ(d.state(k, Duration::seconds(29.999)), LinkState::kQuarantined);
+  EXPECT_EQ(d.state(k, Duration::seconds(30.0)), LinkState::kProbation);
+  EXPECT_TRUE(d.repair_allowed(k, Duration::seconds(30.0)));
+  EXPECT_EQ(d.state(k, Duration::seconds(44.999)), LinkState::kProbation);
+  EXPECT_EQ(d.state(k, Duration::seconds(45.0)), LinkState::kHealthy);
+  EXPECT_EQ(d.stats().probations, 1u);
+  EXPECT_EQ(d.score(k, Duration::seconds(45.0)), 0.0);
+  EXPECT_EQ(d.record_flap(k, Duration::seconds(45.0)), LinkState::kHealthy)
+      << "one fresh flap after a clean probation scores from zero";
+
+  // A suspect link whose score decays back under the threshold is demoted
+  // without any hold: three half-lives take 2.0 down to 0.25.
+  const std::uint64_t k2 = 8;
+  d.record_flap(k2, Duration::zero());
+  EXPECT_EQ(d.record_flap(k2, Duration::zero()), LinkState::kSuspect);
+  EXPECT_EQ(d.state(k2, Duration::seconds(90.0)), LinkState::kHealthy);
+}
+
+TEST(Damper, FlapDuringProbationRelapsesToQuarantine) {
+  FlapDamper d;
+  const std::uint64_t k = 1;
+  d.record_flap(k, Duration::zero());
+  d.record_flap(k, Duration::zero());
+  ASSERT_EQ(d.record_flap(k, Duration::zero()), LinkState::kQuarantined);
+  ASSERT_EQ(d.state(k, Duration::seconds(35.0)), LinkState::kProbation);
+  EXPECT_EQ(d.record_flap(k, Duration::seconds(35.0)), LinkState::kQuarantined)
+      << "probation forgives nothing";
+  EXPECT_EQ(d.stats().relapses, 1u);
+  EXPECT_EQ(d.stats().quarantines, 2u);
+  // The relapse restarted the full hold from the relapse instant.
+  EXPECT_EQ(d.state(k, Duration::seconds(64.999)), LinkState::kQuarantined);
+  EXPECT_EQ(d.state(k, Duration::seconds(65.0)), LinkState::kProbation);
+}
+
+// Property: across a whole storm, the ladder is invoked exactly when the
+// damper is not in quarantine, and every suppressed invocation is counted.
+TEST(Damper, StormNeverInvokesTheLadderWhileQuarantined) {
+  FlapDamper d;
+  const std::uint64_t key = gray_component_key({0, 3}, Direction::kEast);
+  Rng rng{0x57a6};
+  double t = 0.0;
+  std::uint64_t climbs = 0;
+  std::uint64_t suppressed = 0;
+  for (int i = 0; i < 300; ++i) {
+    t += rng.uniform(0.0, 4.0);
+    const Duration now = Duration::seconds(t);
+    const bool allowed = d.repair_allowed(key, now);
+    EXPECT_EQ(allowed, d.state(key, now) != LinkState::kQuarantined);
+    if (allowed) {
+      ++climbs;  // the consumer would climb the repair ladder here
+    } else {
+      ++suppressed;  // quarantined: ride out the dip instead
+    }
+    d.record_flap(key, now);
+  }
+  EXPECT_GT(climbs, 0u);
+  EXPECT_GT(suppressed, 0u) << "a 300-flap storm must hit quarantine";
+  EXPECT_EQ(d.stats().flaps, 300u);
+  EXPECT_EQ(d.stats().suppressed_repairs, suppressed)
+      << "the damper's own count must match the consumer's observation";
 }
 
 }  // namespace

@@ -394,5 +394,65 @@ TEST(PlanCacheRepair, RepeatedBudgetExhaustedClimbsHitRouteCache) {
       << "repeat climbs over an unchanged ledger should reuse the route memo";
 }
 
+// --- Quarantine view (gray failures; fault/health.hpp FlapDamper) ----------
+
+TEST(PlanCacheQuarantine, RejectsWithoutBumpingTheEpoch) {
+  Fabric fab = make_fabric();
+  PlanCache cache{fab};
+  const Demand d{{0, 0}, {0, 3}, 1};  // straight east run on row 0
+  ASSERT_TRUE(cache.route_for(d).has_value());
+  EXPECT_EQ(cache.stats().route_misses, 1u);
+
+  const std::uint64_t epoch_before = fab.epoch();
+  cache.set_quarantine([](GlobalTile t, Direction dir) {
+    return t.wafer == 0 && t.tile == 1 && dir == Direction::kEast;
+  });
+  // The memoized hop path crosses tile 1's east port: the lookup must be
+  // rejected as a *view* decision -- no epoch bump, entry kept.
+  EXPECT_FALSE(cache.route_for(d).has_value());
+  EXPECT_EQ(fab.epoch(), epoch_before) << "quarantine must never bump the epoch";
+  EXPECT_GE(cache.stats().quarantine_rejections, 1u);
+
+  // Lifting the quarantine makes the cache warm again instantly: the same
+  // entry replays as a hit, not a fresh search.
+  cache.set_quarantine(nullptr);
+  ASSERT_TRUE(cache.route_for(d).has_value());
+  EXPECT_EQ(cache.stats().route_misses, 1u) << "entry must survive the quarantine";
+  EXPECT_GE(cache.stats().route_hits, 1u);
+}
+
+TEST(PlanCacheQuarantine, EntryPortOfEachHopIsCheckedToo) {
+  Fabric fab = make_fabric();
+  PlanCache cache{fab};
+  const Demand d{{0, 0}, {0, 3}, 1};
+  ASSERT_TRUE(cache.route_for(d).has_value());
+  // Quarantine the receive side of the first hop (tile 1's *west* port):
+  // walking the path must test the entry port via opposite(d) as well.
+  cache.set_quarantine([](GlobalTile t, Direction dir) {
+    return t.wafer == 0 && t.tile == 1 && dir == Direction::kWest;
+  });
+  EXPECT_FALSE(cache.route_for(d).has_value());
+  EXPECT_GE(cache.stats().quarantine_rejections, 1u);
+}
+
+TEST(PlanCacheQuarantine, PlaceAllFallsThroughForQuarantinedPaths) {
+  Fabric fab = make_fabric();
+  PlanCache cache{fab};
+  const std::vector<Demand> demands{{{0, 0}, {0, 3}, 1}};
+  cache.release_all(cache.place_all(demands));
+  cache.set_quarantine([](GlobalTile t, Direction dir) {
+    return t.wafer == 0 && t.tile == 1 && dir == Direction::kEast;
+  });
+  // The memoized plan crosses the quarantined port: replay is rejected and
+  // the planner runs fresh (which may route around or fail to place), but
+  // the cache entry and epoch survive untouched.
+  const std::uint64_t epoch_before = fab.epoch();
+  PlanReport replanned = cache.place_all(demands);
+  cache.release_all(replanned);
+  EXPECT_EQ(fab.epoch(), epoch_before);
+  EXPECT_GE(cache.stats().quarantine_rejections, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
 }  // namespace
 }  // namespace lp::routing

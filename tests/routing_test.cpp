@@ -563,5 +563,160 @@ TEST(Escalate, GenerousBudgetDoesNotChangeTheOutcome) {
   EXPECT_LT(out.latency, opts.budget);
 }
 
+// --- Retry backoff, transient failures, and budget accounting (gray) -------
+
+TEST(Backoff, DelayScheduleIsDeterministicAndJittered) {
+  RetryBackoff plain;
+  plain.base = Duration::micros(50.0);
+  EXPECT_EQ(plain.delay(0), Duration::zero()) << "retry 0 is the first attempt";
+  EXPECT_EQ(plain.delay(1), Duration::micros(50.0));
+  EXPECT_EQ(plain.delay(2), Duration::micros(100.0));
+  EXPECT_EQ(plain.delay(3), Duration::micros(200.0));
+
+  RetryBackoff off;  // zero base disables waits entirely
+  off.jitter_fraction = 0.5;
+  EXPECT_EQ(off.delay(5), Duration::zero());
+
+  RetryBackoff jittered = plain;
+  jittered.jitter_fraction = 0.5;
+  jittered.seed = 7;
+  double want = 50e-6;
+  for (std::uint64_t k = 1; k <= 4; ++k, want *= 2.0) {
+    const double got = jittered.delay(k).to_seconds();
+    EXPECT_GE(got, want * 0.5) << "retry " << k;
+    EXPECT_LE(got, want * 1.5) << "retry " << k;
+    EXPECT_EQ(jittered.delay(k), jittered.delay(k))
+        << "jitter must be a pure function of (seed, retry)";
+  }
+  RetryBackoff other = jittered;
+  other.seed = 8;
+  EXPECT_NE(other.delay(1), jittered.delay(1))
+      << "different seeds should draw different jitter";
+}
+
+TEST(Escalate, AllTransientClimbReportsTransientFailedAndKeepsTheVictim) {
+  Fabric fab;
+  const auto id = fab.connect(GlobalTile{0, 0}, GlobalTile{0, 3}, 2);
+  ASSERT_TRUE(id.ok());
+  const std::uint64_t epoch_before = fab.epoch();
+  DegradedCircuit victim;
+  victim.id = id.value();
+  victim.dead_lasers = 2;
+
+  EscalationOptions opts;
+  opts.backoff.base = Duration::micros(50.0);
+  opts.transient_failure = [](RepairRung, std::uint32_t) { return true; };
+  const auto out = escalate_repair(fab, victim, opts);
+  EXPECT_FALSE(out.recovered);
+  EXPECT_FALSE(out.budget_exhausted);
+  EXPECT_TRUE(out.transient_failed);
+  EXPECT_GT(out.transient_failures, 0u);
+  EXPECT_GT(out.backoff_latency.to_seconds(), 0.0);
+  EXPECT_GE(out.latency, out.backoff_latency);
+  EXPECT_EQ(fab.active_circuits(), 1u) << "victim must stay established";
+  EXPECT_EQ(fab.epoch(), epoch_before)
+      << "an all-transient climb must not mutate the fabric";
+}
+
+TEST(Escalate, TransientRetryWithinARungThenSucceeds) {
+  Fabric fab;
+  const auto id = fab.connect(GlobalTile{0, 0}, GlobalTile{0, 3}, 2);
+  ASSERT_TRUE(id.ok());
+  DegradedCircuit victim;
+  victim.id = id.value();
+  victim.dead_lasers = 2;
+
+  EscalationOptions opts;
+  opts.backoff.base = Duration::micros(50.0);
+  // First programming attempt of the climb settles out; the retry locks.
+  opts.transient_failure = [](RepairRung, std::uint32_t attempt) {
+    return attempt == 0;
+  };
+  const auto out = escalate_repair(fab, victim, opts);
+  EXPECT_TRUE(out.recovered);
+  EXPECT_EQ(out.rung, RepairRung::kRetune);
+  EXPECT_EQ(out.attempts[rung_index(RepairRung::kRetune)], 2u);
+  EXPECT_EQ(out.transient_failures, 1u);
+  EXPECT_EQ(out.backoff_latency, opts.backoff.delay(1))
+      << "exactly one wait, before the successful retry";
+}
+
+TEST(Escalate, RungTimeoutAbandonsASlowRung) {
+  Fabric fab;
+  const auto id = fab.connect(GlobalTile{0, 0}, GlobalTile{0, 3}, 2);
+  ASSERT_TRUE(id.ok());
+  DegradedCircuit victim;
+  victim.id = id.value();
+  victim.dead_lasers = 2;
+
+  // Every attempt is transient and each retry waits 1 ms: with a 100 us
+  // rung cap the retune rung is abandoned after its first attempt instead
+  // of burning retries_per_rung attempts in place.
+  EscalationOptions capped;
+  capped.retries_per_rung = 8;
+  capped.backoff.base = Duration::millis(1.0);
+  capped.rung_timeout = Duration::micros(100.0);
+  capped.transient_failure = [](RepairRung r, std::uint32_t) {
+    return r == RepairRung::kRetune;
+  };
+  const auto out = escalate_repair(fab, victim, capped);
+  EXPECT_TRUE(out.recovered);
+  EXPECT_NE(out.rung, RepairRung::kRetune) << "the climb must escalate past retune";
+  EXPECT_LE(out.attempts[rung_index(RepairRung::kRetune)], 2u)
+      << "the cap, not retries_per_rung, bounds the rung";
+}
+
+// Regression (budget-exhausted accounting audit): a rung the budget gates
+// off before entry must charge neither attempts nor latency -- the outcome
+// stops exactly at the spend recorded when the gate closed.
+TEST(Escalate, BudgetGatedRungChargesNoAttemptsOrLatency) {
+  Fabric fab;
+  const auto id = fab.connect(GlobalTile{0, 0}, GlobalTile{0, 3}, 2);
+  ASSERT_TRUE(id.ok());
+  DegradedCircuit victim;
+  victim.id = id.value();
+  victim.hard_down = true;  // retune is skipped; reroute would be next
+
+  // One failed-validation reroute attempt costs exactly one settle probe.
+  // Grant precisely that: the climb charges the first attempt in full, and
+  // every later rung is gated off with zero attempts and zero latency.
+  const Duration one_attempt = fab.reconfig().settle_latency();
+  ASSERT_GT(one_attempt.to_seconds(), 0.0);
+
+  EscalationOptions opts;
+  opts.validate = [](const Fabric&, fabric::CircuitId) { return false; };
+  opts.electrical_feasible = true;
+  opts.budget = one_attempt;  // gate closes exactly after the first attempt
+  const auto out = escalate_repair(fab, victim, opts);
+  EXPECT_FALSE(out.recovered);
+  EXPECT_TRUE(out.budget_exhausted);
+  EXPECT_EQ(out.attempts[rung_index(RepairRung::kReroute)], 1u);
+  EXPECT_EQ(out.attempts[rung_index(RepairRung::kRespare)], 0u);
+  EXPECT_EQ(out.attempts[rung_index(RepairRung::kElectricalDetour)], 0u)
+      << "a rung never entered must count zero attempts";
+  EXPECT_EQ(out.attempts[rung_index(RepairRung::kRackMigration)], 0u);
+  EXPECT_EQ(out.latency, one_attempt)
+      << "no rolled-back latency from rungs the budget gated off";
+}
+
+TEST(Escalate, EmptySpareListAndInfeasibleDetourCountZeroAttempts) {
+  Fabric fab;
+  const auto id = fab.connect(GlobalTile{0, 0}, GlobalTile{0, 3}, 2);
+  ASSERT_TRUE(id.ok());
+  DegradedCircuit victim;
+  victim.id = id.value();
+  victim.src_dead = true;  // only respare / the electrical rungs apply
+
+  EscalationOptions opts;  // no spare candidates, detour infeasible
+  const auto out = escalate_repair(fab, victim, opts);
+  EXPECT_TRUE(out.recovered);
+  EXPECT_EQ(out.rung, RepairRung::kRackMigration);
+  EXPECT_EQ(out.attempts[rung_index(RepairRung::kRespare)], 0u)
+      << "no spare was ever selected, so no attempt was made";
+  EXPECT_EQ(out.attempts[rung_index(RepairRung::kElectricalDetour)], 0u)
+      << "an infeasible detour is a gate, not an attempt";
+  EXPECT_EQ(out.attempts[rung_index(RepairRung::kRackMigration)], 1u);
+}
+
 }  // namespace
 }  // namespace lp::routing

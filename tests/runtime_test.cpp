@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <memory>
 #include <vector>
 
 #include "collective/schedule.hpp"
@@ -290,6 +291,101 @@ TEST(ResilienceSweep, PairsPoliciesPerPointPhotonicFirst) {
     EXPECT_EQ(report.points[i].policy, RunPolicy::kPhotonicRepair);
     EXPECT_EQ(report.points[i + 1].policy, RunPolicy::kElectricalMigration);
     EXPECT_EQ(report.points[i].mtbf_hours, report.points[i + 1].mtbf_hours);
+  }
+}
+
+// --- Gray failures: transient retries across climbs, the sweep -------------
+
+TEST(DriveRecovery, TransientFailuresAreRetriedAcrossClimbs) {
+  Fabric fab;
+  const auto id = fab.connect(GlobalTile{0, 0}, GlobalTile{0, 3}, 2);
+  ASSERT_TRUE(id.ok());
+  routing::DegradedCircuit victim;
+  victim.id = id.value();
+  victim.dead_lasers = 2;
+
+  // The first four programming attempts (anywhere on the ladder) settle
+  // out; the fifth locks.  Climb 1 burns retune + rung-5 retries and ends
+  // transient; climb 2 retunes on its first attempt.
+  auto calls = std::make_shared<std::uint32_t>(0);
+  routing::EscalationOptions base;
+  base.transient_failure = [calls](routing::RepairRung, std::uint32_t) {
+    return ++*calls <= 4;
+  };
+  RecoveryPolicy policy;
+  policy.initial_budget = Duration::zero();  // unbounded climbs: isolate transients
+  const RecoveryResult res = drive_recovery(fab, victim, policy, base);
+  EXPECT_TRUE(res.recovered);
+  EXPECT_EQ(res.rung, routing::RepairRung::kRetune);
+  EXPECT_EQ(res.climbs, 2u) << "one all-transient climb, then the recovery";
+  EXPECT_EQ(res.transient_failures, 4u);
+  EXPECT_FALSE(res.transient_failed);
+  EXPECT_GT(res.backoff_latency, Duration::zero())
+      << "a transient climb backs off before the next, like budget exhaustion";
+}
+
+TEST(DriveRecovery, AllTransientClimbsLeaveTheVictimEstablished) {
+  Fabric fab;
+  const auto id = fab.connect(GlobalTile{0, 0}, GlobalTile{0, 3}, 2);
+  ASSERT_TRUE(id.ok());
+  routing::DegradedCircuit victim;
+  victim.id = id.value();
+  victim.dead_lasers = 2;
+
+  routing::EscalationOptions base;
+  base.transient_failure = [](routing::RepairRung, std::uint32_t) { return true; };
+  const RecoveryResult res = drive_recovery(fab, victim, RecoveryPolicy{}, base);
+  EXPECT_FALSE(res.recovered);
+  EXPECT_FALSE(res.fell_through);
+  EXPECT_FALSE(res.plan_failure);
+  EXPECT_TRUE(res.transient_failed)
+      << "even the final unbounded climb ended in settle timeouts";
+  EXPECT_GT(res.transient_failures, 0u);
+  EXPECT_NE(fab.circuit(id.value()), nullptr)
+      << "nothing committed: the victim stays up for a later climb";
+}
+
+GraySweepConfig small_gray_config() {
+  GraySweepConfig config;
+  config.base.iterations = 300;
+  config.base.mtbf_hours = 1e9;  // flaps only: isolate the gray layer
+  config.base.recovery.rung_backoff.base = Duration::micros(50.0);
+  config.base.recovery.rung_backoff.jitter_fraction = 0.5;
+  config.flap_rates_per_hour = {8.0, 16.0};
+  config.trials = 2;
+  return config;
+}
+
+TEST(GraySweep, HysteresisBeatsNaiveAtEveryRate) {
+  const auto report = run_gray_sweep(small_gray_config());
+  ASSERT_EQ(report.points.size(), 4u) << "two rates x two arms";
+  for (std::size_t i = 0; i + 1 < report.points.size(); i += 2) {
+    const GrayPointReport& hyst = report.points[i];
+    const GrayPointReport& naive = report.points[i + 1];
+    ASSERT_TRUE(hyst.hysteresis);
+    ASSERT_FALSE(naive.hysteresis);
+    ASSERT_EQ(hyst.flap_rate_per_hour, naive.flap_rate_per_hour);
+    EXPECT_GT(hyst.goodput_mean, naive.goodput_mean)
+        << "hysteresis+backoff must win at " << hyst.flap_rate_per_hour << "/h";
+    EXPECT_GT(hyst.suppressed_repairs, 0u) << "the damper must actually engage";
+    EXPECT_EQ(naive.suppressed_repairs, 0u) << "the naive arm never suppresses";
+    EXPECT_EQ(hyst.misclassifications, 0u)
+        << "hysteresis never declares a flapping chip dead";
+    EXPECT_GT(naive.misclassifications, 0u)
+        << "naive eventually prices the gray failure as fail-stop; that is "
+           "the thrash the sweep measures";
+  }
+}
+
+TEST(GraySweep, ReportIdenticalAtAnyThreadCount) {
+  auto config = small_gray_config();
+  config.threads = 1;
+  const auto serial = run_gray_sweep(config);
+  for (const unsigned threads : {2u, 8u}) {
+    config.threads = threads;
+    const auto parallel = run_gray_sweep(config);
+    ASSERT_EQ(parallel.points.size(), serial.points.size());
+    EXPECT_EQ(parallel.digest(), serial.digest()) << threads << " threads";
   }
 }
 
